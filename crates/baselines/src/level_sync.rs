@@ -1,0 +1,178 @@
+//! Level-synchronous parallel traversals — the "MTGL / SNAP" comparators.
+//!
+//! These represent the *currently accepted synchronous techniques* the
+//! paper positions itself against (§III): computation proceeds in rounds
+//! with a barrier after each one. "Load imbalance may occur between the
+//! synchronization points, leading to performance loss" — on power-law
+//! graphs a round containing a hub vertex stalls every other thread at the
+//! barrier, which is exactly the effect the asynchronous engine removes.
+
+use asyncgt_graph::{Graph, Vertex, INF_DIST, NO_VERTEX};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::serial::ShortestPaths;
+
+/// Level-synchronous parallel BFS with `num_threads` workers.
+///
+/// Each level: the frontier is split into chunks, every worker claims
+/// vertices of the next level with a CAS on the distance array, and a
+/// barrier (thread join) separates levels.
+pub fn bfs<G: Graph>(g: &G, source: Vertex, num_threads: usize) -> ShortestPaths {
+    let n = g.num_vertices() as usize;
+    let num_threads = num_threads.max(1);
+    let dist: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(INF_DIST)).collect();
+    let parent: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(NO_VERTEX)).collect();
+
+    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut frontier = vec![source];
+    let mut level: u64 = 0;
+
+    while !frontier.is_empty() {
+        level += 1;
+        let chunk = frontier.len().div_ceil(num_threads);
+        let mut nexts: Vec<Vec<Vertex>> = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for piece in frontier.chunks(chunk) {
+                let dist = &dist;
+                let parent = &parent;
+                handles.push(s.spawn(move || {
+                    let mut next = Vec::new();
+                    for &v in piece {
+                        g.for_each_neighbor(v, |t, _| {
+                            // Claim `t` for this level; exactly one worker
+                            // wins the CAS, so `t` enters one next-frontier.
+                            if dist[t as usize]
+                                .compare_exchange(
+                                    INF_DIST,
+                                    level,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                )
+                                .is_ok()
+                            {
+                                parent[t as usize].store(v, Ordering::Relaxed);
+                                next.push(t);
+                            }
+                        });
+                    }
+                    next
+                }));
+            }
+            for h in handles {
+                nexts.push(h.join().expect("level-sync BFS worker panicked"));
+            }
+        }); // <- the per-level barrier
+        frontier = nexts.concat();
+    }
+
+    ShortestPaths {
+        dist: dist.into_iter().map(AtomicU64::into_inner).collect(),
+        parent: parent.into_iter().map(AtomicU64::into_inner).collect(),
+    }
+}
+
+/// Synchronous label-propagation connected components (the SNAP-style
+/// comparator): every round propagates the minimum component id across each
+/// edge, with a barrier between rounds, until a fixed point.
+///
+/// `g` must be undirected (each edge stored in both directions).
+pub fn connected_components<G: Graph>(g: &G, num_threads: usize) -> Vec<Vertex> {
+    let n = g.num_vertices() as usize;
+    let num_threads = num_threads.max(1);
+    let ccid: Vec<AtomicU64> = (0..n as u64).map(AtomicU64::new).collect();
+
+    loop {
+        let changed = AtomicBool::new(false);
+        let chunk = n.div_ceil(num_threads).max(1);
+        std::thread::scope(|s| {
+            for t in 0..num_threads {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                if lo >= hi {
+                    continue;
+                }
+                let ccid = &ccid;
+                let changed = &changed;
+                s.spawn(move || {
+                    for v in lo..hi {
+                        let my = ccid[v].load(Ordering::Relaxed);
+                        g.for_each_neighbor(v as u64, |u, _| {
+                            // Push my label down to the neighbor and pull
+                            // the neighbor's label; fetch_min keeps both
+                            // monotonically decreasing.
+                            let theirs = ccid[u as usize].fetch_min(my, Ordering::Relaxed);
+                            if theirs < my {
+                                if ccid[v].fetch_min(theirs, Ordering::Relaxed) > theirs {
+                                    changed.store(true, Ordering::Relaxed);
+                                }
+                            } else if theirs > my {
+                                changed.store(true, Ordering::Relaxed);
+                            }
+                        });
+                    }
+                });
+            }
+        }); // <- the per-round barrier
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+
+    ccid.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use asyncgt_graph::generators::{binary_tree, cycle_graph, grid_graph, RmatGenerator, RmatParams};
+
+    #[test]
+    fn bfs_matches_serial_on_tree() {
+        let g = binary_tree(6);
+        for threads in [1, 2, 8] {
+            let par = bfs(&g, 0, threads);
+            let ser = serial::bfs(&g, 0);
+            assert_eq!(par.dist, ser.dist, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn bfs_matches_serial_on_rmat() {
+        let g = RmatGenerator::new(RmatParams::RMAT_A, 10, 8, 13).directed();
+        let par = bfs(&g, 0, 4);
+        let ser = serial::bfs(&g, 0);
+        assert_eq!(par.dist, ser.dist);
+    }
+
+    #[test]
+    fn bfs_parents_are_consistent() {
+        let g = grid_graph(8, 8);
+        let r = bfs(&g, 0, 4);
+        for v in 1..g.num_vertices() {
+            let p = r.parent[v as usize];
+            assert_ne!(p, NO_VERTEX, "grid is connected");
+            assert_eq!(r.dist[v as usize], r.dist[p as usize] + 1);
+            assert!(g.neighbors(p).contains(&v));
+        }
+    }
+
+    #[test]
+    fn cc_matches_serial_on_cycles() {
+        let g = cycle_graph(32);
+        let par = connected_components(&g, 4);
+        let ser = serial::connected_components(&g);
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn cc_matches_serial_on_rmat_undirected() {
+        let g = RmatGenerator::new(RmatParams::RMAT_B, 10, 4, 17).undirected();
+        for threads in [1, 3, 8] {
+            let par = connected_components(&g, threads);
+            let ser = serial::connected_components(&g);
+            assert_eq!(par, ser, "threads={threads}");
+        }
+    }
+}

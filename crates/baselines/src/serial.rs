@@ -1,0 +1,221 @@
+//! Serial RAM-model traversals — the "BGL" baseline of the paper's tables.
+//!
+//! These are the textbook algorithms the Boost Graph Library implements:
+//! queue-based BFS, binary-heap Dijkstra, and BFS-based connected
+//! components. The paper uses BGL "as an efficient serial baseline to
+//! compute speedup"; every `speedup BGL` column divides by these.
+
+use asyncgt_graph::{Graph, Vertex, INF_DIST, NO_VERTEX};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Output of a BFS or SSSP: per-vertex distance and parent arrays,
+/// initialized to `∞` (`INF_DIST` / `NO_VERTEX`) exactly as in the paper's
+/// Algorithm 1.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShortestPaths {
+    /// Path length from the source (`INF_DIST` if unreached). For BFS this
+    /// is the level number.
+    pub dist: Vec<u64>,
+    /// Predecessor on a shortest path (`NO_VERTEX` for the source and
+    /// unreached vertices).
+    pub parent: Vec<Vertex>,
+}
+
+impl ShortestPaths {
+    fn new(n: u64) -> Self {
+        ShortestPaths {
+            dist: vec![INF_DIST; n as usize],
+            parent: vec![NO_VERTEX; n as usize],
+        }
+    }
+
+    /// Reconstruct the path from the source to `v` (inclusive), or `None`
+    /// if `v` was not reached.
+    pub fn path_to(&self, v: Vertex) -> Option<Vec<Vertex>> {
+        if self.dist[v as usize] == INF_DIST {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while self.parent[cur as usize] != NO_VERTEX {
+            cur = self.parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Queue-based breadth-first search from `source` (edge weights ignored).
+pub fn bfs<G: Graph>(g: &G, source: Vertex) -> ShortestPaths {
+    let mut out = ShortestPaths::new(g.num_vertices());
+    out.dist[source as usize] = 0;
+    let mut queue = VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = out.dist[v as usize];
+        g.for_each_neighbor(v, |t, _| {
+            if out.dist[t as usize] == INF_DIST {
+                out.dist[t as usize] = d + 1;
+                out.parent[t as usize] = v;
+                queue.push_back(t);
+            }
+        });
+    }
+    out
+}
+
+/// Binary-heap Dijkstra from `source` (non-negative weights, as the paper
+/// assumes: "we only address non-negatively weighted graphs").
+pub fn dijkstra<G: Graph>(g: &G, source: Vertex) -> ShortestPaths {
+    let mut out = ShortestPaths::new(g.num_vertices());
+    out.dist[source as usize] = 0;
+    let mut heap: BinaryHeap<Reverse<(u64, Vertex)>> = BinaryHeap::new();
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > out.dist[v as usize] {
+            continue; // stale entry
+        }
+        g.for_each_neighbor(v, |t, w| {
+            let nd = d + w as u64;
+            if nd < out.dist[t as usize] {
+                out.dist[t as usize] = nd;
+                out.parent[t as usize] = v;
+                heap.push(Reverse((nd, t)));
+            }
+        });
+    }
+    out
+}
+
+/// Serial connected components by repeated BFS over an *undirected* graph
+/// (each edge stored in both directions). Labels follow the paper's
+/// convention: every vertex is labeled with the smallest vertex id in its
+/// component, so isolated vertices label themselves.
+pub fn connected_components<G: Graph>(g: &G) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    let mut ccid = vec![NO_VERTEX; n as usize];
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if ccid[start as usize] != NO_VERTEX {
+            continue;
+        }
+        // `start` is the smallest unvisited id, hence the smallest id in
+        // its component (all smaller ids belong to other components).
+        ccid[start as usize] = start;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            g.for_each_neighbor(v, |t, _| {
+                if ccid[t as usize] == NO_VERTEX {
+                    ccid[t as usize] = start;
+                    queue.push_back(t);
+                }
+            });
+        }
+    }
+    ccid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncgt_graph::generators::{binary_tree, cycle_graph, path_graph, star_graph};
+    use asyncgt_graph::{CsrGraph, GraphBuilder};
+
+    #[test]
+    fn bfs_levels_on_binary_tree() {
+        let g = binary_tree(4); // 15 vertices
+        let r = bfs(&g, 0);
+        for v in 0..15u64 {
+            let expected = 63 - (v + 1).leading_zeros() as u64; // floor(log2(v+1))
+            assert_eq!(r.dist[v as usize], expected, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn bfs_unreachable_stays_infinite() {
+        let g = path_graph(4);
+        let r = bfs(&g, 2);
+        assert_eq!(r.dist, vec![INF_DIST, INF_DIST, 0, 1]);
+        assert_eq!(r.parent[3], 2);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheaper_long_path() {
+        // 0 -> 1 (10), 0 -> 2 (1), 2 -> 1 (2): best path to 1 costs 3.
+        let g: CsrGraph<u32> = GraphBuilder::new(3)
+            .add_weighted_edge(0, 1, 10)
+            .add_weighted_edge(0, 2, 1)
+            .add_weighted_edge(2, 1, 2)
+            .build();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist[1], 3);
+        assert_eq!(r.parent[1], 2);
+        assert_eq!(r.path_to(1), Some(vec![0, 2, 1]));
+    }
+
+    #[test]
+    fn dijkstra_on_unweighted_equals_bfs() {
+        let g = binary_tree(5);
+        assert_eq!(bfs(&g, 0).dist, dijkstra(&g, 0).dist);
+    }
+
+    #[test]
+    fn paper_figure3_graph() {
+        // The worked SSSP example of paper Fig. 3: final distances
+        // 0, 2, 5, 6, 8.
+        let g: CsrGraph<u32> = GraphBuilder::new(5)
+            .add_weighted_edge(0, 1, 2)
+            .add_weighted_edge(0, 2, 5)
+            .add_weighted_edge(1, 2, 4)
+            .add_weighted_edge(1, 3, 7)
+            .add_weighted_edge(2, 3, 1)
+            .add_weighted_edge(3, 0, 1)
+            .add_weighted_edge(3, 4, 2)
+            .add_weighted_edge(4, 0, 3)
+            .build();
+        let r = dijkstra(&g, 0);
+        assert_eq!(r.dist, vec![0, 2, 5, 6, 8]);
+    }
+
+    #[test]
+    fn cc_on_disjoint_cycles() {
+        // Two 3-cycles: {0,1,2} and {3,4,5}.
+        let mut b = GraphBuilder::new(6);
+        for (s, t) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b = b.add_edge(s, t);
+        }
+        let g: CsrGraph<u32> = b.symmetrize().dedup().build();
+        let cc = connected_components(&g);
+        assert_eq!(cc, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn cc_isolated_vertices_label_themselves() {
+        let g: CsrGraph<u32> = GraphBuilder::new(4).add_edge(1, 2).symmetrize().build();
+        let cc = connected_components(&g);
+        assert_eq!(cc, vec![0, 1, 1, 3]);
+    }
+
+    #[test]
+    fn cc_single_component() {
+        let g = cycle_graph(8);
+        let cc = connected_components(&g);
+        assert!(cc.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn cc_star_is_one_component() {
+        let cc = connected_components(&star_graph(16));
+        assert!(cc.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn path_reconstruction_on_source() {
+        let g = path_graph(3);
+        let r = bfs(&g, 0);
+        assert_eq!(r.path_to(0), Some(vec![0]));
+        assert_eq!(r.path_to(2), Some(vec![0, 1, 2]));
+    }
+}

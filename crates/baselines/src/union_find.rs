@@ -1,0 +1,125 @@
+//! Disjoint-set (union-find) connected components.
+//!
+//! A second serial CC baseline, asymptotically near-optimal
+//! (`O(m α(n))`), used by the ablation benches: the paper only compares
+//! against BFS-based CC (BGL) and MTGL, so union-find bounds how much room
+//! a smarter serial algorithm leaves.
+
+use asyncgt_graph::{Graph, Vertex};
+
+/// Disjoint-set forest with union by rank and path halving.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "UnionFind stores u32 ids");
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra as usize].cmp(&self.rank[rb as usize]) {
+            std::cmp::Ordering::Less => self.parent[ra as usize] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb as usize] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb as usize] = ra;
+                self.rank[ra as usize] += 1;
+            }
+        }
+        true
+    }
+}
+
+/// Connected components via union-find, labeled (like the paper's CC) by
+/// the smallest vertex id in each component.
+pub fn connected_components<G: Graph>(g: &G) -> Vec<Vertex> {
+    let n = g.num_vertices();
+    let mut uf = UnionFind::new(n as usize);
+    for v in 0..n {
+        g.for_each_neighbor(v, |t, _| {
+            uf.union(v as u32, t as u32);
+        });
+    }
+    // Map each root to the smallest member id, then label every vertex.
+    let mut min_of_root: Vec<u32> = (0..n as u32).collect();
+    for v in 0..n as u32 {
+        let r = uf.find(v) as usize;
+        if v < min_of_root[r] {
+            min_of_root[r] = v;
+        }
+    }
+    (0..n as u32)
+        .map(|v| {
+            let r = uf.find(v) as usize;
+            min_of_root[r] as Vertex
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial;
+    use asyncgt_graph::generators::{cycle_graph, grid_graph, RmatGenerator, RmatParams};
+    use asyncgt_graph::{CsrGraph, GraphBuilder};
+
+    #[test]
+    fn singleton_sets() {
+        let mut uf = UnionFind::new(3);
+        assert_ne!(uf.find(0), uf.find(1));
+        assert!(uf.union(0, 1));
+        assert_eq!(uf.find(0), uf.find(1));
+        assert!(!uf.union(1, 0), "already merged");
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(1, 2);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(2), uf.find(3));
+    }
+
+    #[test]
+    fn matches_serial_bfs_cc() {
+        let g = RmatGenerator::new(RmatParams::RMAT_A, 10, 4, 23).undirected();
+        assert_eq!(connected_components(&g), serial::connected_components(&g));
+    }
+
+    #[test]
+    fn matches_on_structured_graphs() {
+        for g in [cycle_graph(17), grid_graph(5, 9)] {
+            assert_eq!(connected_components(&g), serial::connected_components(&g));
+        }
+    }
+
+    #[test]
+    fn isolated_vertices() {
+        let g: CsrGraph<u32> = GraphBuilder::new(5).add_edge(2, 4).symmetrize().build();
+        assert_eq!(connected_components(&g), vec![0, 1, 2, 3, 2]);
+    }
+}

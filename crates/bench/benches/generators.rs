@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks for workload generation and SEM storage:
+//! RMAT and web-graph generation, CSR construction, SEM file write/read.
+
+use asyncgt_bench::workloads::scratch_dir;
+use asyncgt_graph::generators::{webgraph_like, RmatGenerator, RmatParams, WebGraphParams};
+use asyncgt_graph::{CsrGraph, Graph, GraphBuilder};
+use asyncgt_storage::reader::SemConfig;
+use asyncgt_storage::{write_sem_graph, SemGraph};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_rmat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("rmat_a_scale13", |b| {
+        b.iter(|| RmatGenerator::new(RmatParams::RMAT_A, 13, 16, 1).directed())
+    });
+    group.bench_function("rmat_b_scale13", |b| {
+        b.iter(|| RmatGenerator::new(RmatParams::RMAT_B, 13, 16, 1).directed())
+    });
+    group.bench_function("webgraph_8k", |b| {
+        b.iter(|| webgraph_like(&WebGraphParams::sk2005_like(8192, 1)))
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let edges = RmatGenerator::new(RmatParams::RMAT_A, 13, 16, 2).edges();
+    let mut group = c.benchmark_group("csr_build");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("build_131k_edges", |b| {
+        b.iter(|| {
+            GraphBuilder::from_edges(1 << 13, edges.clone(), false).build::<u32>()
+        })
+    });
+    group.bench_function("symmetrize_dedup", |b| {
+        b.iter(|| {
+            GraphBuilder::from_edges(1 << 13, edges.clone(), false)
+                .symmetrize()
+                .dedup()
+                .build::<u32>()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sem_io(c: &mut Criterion) {
+    let g: CsrGraph<u32> = RmatGenerator::new(RmatParams::RMAT_A, 12, 16, 3).directed();
+    let path = scratch_dir().join("bench_sem_io.agt");
+    write_sem_graph(&path, &g).unwrap();
+
+    let mut group = c.benchmark_group("sem_io");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(10);
+    group.bench_function("write_scale12", |b| {
+        let p = scratch_dir().join("bench_sem_write.agt");
+        b.iter(|| write_sem_graph(&p, &g).unwrap())
+    });
+    group.bench_function("full_scan_cached", |b| {
+        let sem = SemGraph::open(&path).unwrap();
+        b.iter(|| {
+            let mut edges = 0u64;
+            for v in 0..sem.num_vertices() {
+                sem.for_each_neighbor(v, |_, _| edges += 1);
+            }
+            edges
+        })
+    });
+    group.bench_function("full_scan_uncached", |b| {
+        let sem = SemGraph::open_with(
+            &path,
+            SemConfig {
+                block_size: 4096,
+                cache_blocks: 0,
+                device: None,
+            },
+        )
+        .unwrap();
+        b.iter(|| {
+            let mut edges = 0u64;
+            for v in 0..sem.num_vertices() {
+                sem.for_each_neighbor(v, |_, _| edges += 1);
+            }
+            edges
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmat, bench_csr_build, bench_sem_io);
+criterion_main!(benches);

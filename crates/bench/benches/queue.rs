@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks of the visitor-queue runtime itself:
+//! termination-detection overhead, local-push fast path, and remote-push
+//! routing under different thread counts.
+
+use asyncgt_vq::{PushCtx, VisitHandler, Visitor, VisitorQueue, VqConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Chain visitor: strictly sequential hand-off (termination-latency probe).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Chain(u64);
+impl Visitor for Chain {
+    fn target(&self) -> u64 {
+        self.0
+    }
+}
+struct ChainHandler(u64);
+impl VisitHandler<Chain> for ChainHandler {
+    fn visit(&self, v: Chain, ctx: &mut PushCtx<'_, Chain>) {
+        if v.0 + 1 < self.0 {
+            ctx.push(Chain(v.0 + 1));
+        }
+    }
+}
+
+/// Fan-out visitor: binary-tree explosion (throughput probe).
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Fan {
+    depth: u32,
+    id: u64,
+}
+impl Visitor for Fan {
+    fn target(&self) -> u64 {
+        self.id
+    }
+}
+struct FanHandler(u32);
+impl VisitHandler<Fan> for FanHandler {
+    fn visit(&self, v: Fan, ctx: &mut PushCtx<'_, Fan>) {
+        if v.depth < self.0 {
+            ctx.push(Fan {
+                depth: v.depth + 1,
+                id: v.id * 2 + 1,
+            });
+            ctx.push(Fan {
+                depth: v.depth + 1,
+                id: v.id * 2 + 2,
+            });
+        }
+    }
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vq_chain_10k");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    for threads in [1usize, 4, 16] {
+        group.bench_function(format!("{threads}t"), |b| {
+            b.iter(|| {
+                VisitorQueue::run(
+                    &VqConfig::with_threads(threads),
+                    &ChainHandler(10_000),
+                    [Chain(0)],
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vq_fanout_64k");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    for threads in [1usize, 4, 16] {
+        group.bench_function(format!("{threads}t"), |b| {
+            b.iter(|| {
+                VisitorQueue::run(
+                    &VqConfig::with_threads(threads),
+                    &FanHandler(15), // 2^16 - 1 visitors
+                    [Fan { depth: 0, id: 0 }],
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spawn_overhead(c: &mut Criterion) {
+    // Empty run: measures pure scope spawn/join + termination detection.
+    let mut group = c.benchmark_group("vq_startup");
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(30);
+    for threads in [1usize, 16, 128] {
+        group.bench_function(format!("{threads}t_single_visitor"), |b| {
+            b.iter(|| {
+                VisitorQueue::run(&VqConfig::with_threads(threads), &ChainHandler(1), [Chain(0)])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_fanout, bench_spawn_overhead);
+criterion_main!(benches);

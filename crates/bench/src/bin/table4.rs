@@ -1,0 +1,118 @@
+//! Table IV — "Performance comparison of Semi-External Memory Breadth
+//! First Search on three FLASH memory configurations".
+//!
+//! The paper's SEM graphs are far larger than RAM, so every adjacency
+//! visit is a device read; we model that regime with the block cache
+//! disabled (`ASYNCGT_CACHE_BLOCKS=0`, the default here). For each device
+//! the harness reports:
+//!
+//! * `serial(s)` — a serial BFS over the SEM graph: one outstanding read
+//!   at a time, the "in-memory BFS … orders of magnitude slower when
+//!   forced to use external memory" case the paper cites (§II-C);
+//! * `async(s)`  — the asynchronous BFS at `ASYNCGT_SEM_THREADS` (paper:
+//!   256) threads, which keeps the device's internal channels saturated;
+//! * `overlap`   — serial/async: how much latency the multithreaded
+//!   asynchronous traversal hides (bounded by the device channel count);
+//! * `IM BGL(s)` — the serial in-memory baseline the paper compares
+//!   against. NOTE: the paper's >1x speedups over IM BGL also rely on its
+//!   8-core testbed executing visitor *compute* in parallel; on a 1-core
+//!   host the async compute is serialized, so `async/BGL` underestimates
+//!   the paper's ratio by roughly the core count (see EXPERIMENTS.md).
+//!
+//! Run: `cargo run -p asyncgt-bench --release --bin table4`
+//! Env: `ASYNCGT_SEM_SCALES`, `ASYNCGT_SEM_THREADS` (default 256),
+//!      `ASYNCGT_BLOCK_KB` (default 8), `ASYNCGT_CACHE_BLOCKS` (default 0).
+
+use asyncgt::validate::check_shortest_paths;
+use asyncgt::{bfs, Config};
+use asyncgt_baselines::serial;
+use asyncgt_bench::table::{ratio, secs, Table};
+use asyncgt_bench::workloads::{as_sem, rmat_directed, rmat_families, EDGE_FACTOR};
+use asyncgt_bench::{banner, sem_scales, time};
+use asyncgt_storage::reader::SemConfig;
+use asyncgt_storage::{DeviceModel, SimulatedFlash};
+use std::sync::Arc;
+
+fn env_usize(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    banner("Table IV: Semi-External Memory Breadth First Search");
+    let sem_threads = env_usize("ASYNCGT_SEM_THREADS", 256);
+    let block_kb = env_usize("ASYNCGT_BLOCK_KB", 8);
+    let cache_blocks = env_usize("ASYNCGT_CACHE_BLOCKS", 0);
+    let source = 0u64;
+
+    let mut header = vec![
+        "graph".into(),
+        "verts".into(),
+        "edges".into(),
+        "EM size".into(),
+        "IM BGL(s)".into(),
+    ];
+    for m in DeviceModel::paper_configs() {
+        header.push(format!("{} serial(s)", m.name));
+        header.push(format!("{} async(s)", m.name));
+        header.push("overlap".into());
+        header.push("vs BGL".into());
+    }
+    let mut table = Table::new(header);
+
+    for (name, params) in rmat_families() {
+        for scale in sem_scales() {
+            let g = rmat_directed(params, scale);
+            let (bgl, t_bgl) = time(|| serial::bfs(&g, source));
+
+            let mut row = vec![
+                format!("{name}/2^{scale}"),
+                format!("2^{scale}"),
+                format!("2^{}", scale + EDGE_FACTOR.ilog2()),
+                String::new(),
+                secs(t_bgl),
+            ];
+
+            let mut em_size = 0u64;
+            for model in DeviceModel::paper_configs() {
+                let sem_cfg = |dev: Arc<SimulatedFlash>| SemConfig {
+                    block_size: block_kb * 1024,
+                    cache_blocks,
+                    device: Some(dev),
+                };
+
+                // Serial SEM: one outstanding request at a time.
+                let dev = Arc::new(SimulatedFlash::new(model));
+                let sem = as_sem(&g, &format!("t4_{name}_{scale}"), sem_cfg(dev));
+                em_size = sem.edge_region_bytes();
+                let (ser_out, t_serial) = time(|| serial::bfs(&sem, source));
+                assert_eq!(ser_out.dist, bgl.dist);
+
+                // Async SEM: oversubscribed threads saturate the channels.
+                let dev = Arc::new(SimulatedFlash::new(model));
+                let sem = as_sem(&g, &format!("t4_{name}_{scale}"), sem_cfg(dev));
+                let (out, t_async) =
+                    time(|| bfs(&sem, source, &Config::with_threads(sem_threads)));
+                check_shortest_paths(&sem, source, &out, true).expect("SEM BFS invalid");
+                assert_eq!(out.dist, bgl.dist, "SEM BFS mismatch on {}", model.name);
+
+                row.push(secs(t_serial));
+                row.push(secs(t_async));
+                row.push(ratio(t_serial.as_secs_f64(), t_async.as_secs_f64()));
+                row.push(ratio(t_bgl.as_secs_f64(), t_async.as_secs_f64()));
+            }
+            row[3] = format!("{:.1} MB", em_size as f64 / 1e6);
+            table.row(row);
+        }
+    }
+
+    table.print();
+    println!();
+    println!("paper shape (Table IV, 256 threads): device ordering FusionIO > Intel >");
+    println!("Corsair; FusionIO 1.7-3.0x over serial in-memory BGL, Corsair comparable");
+    println!("(0.7-0.9x). Here 'overlap' isolates the latency-hiding the paper's design");
+    println!("achieves (bounded by device channels); 'vs BGL' additionally pays this");
+    println!("host's serialized visitor compute (1 core vs the paper's 8).");
+}

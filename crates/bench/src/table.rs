@@ -1,0 +1,141 @@
+//! Minimal fixed-width table printer for experiment output.
+
+/// A simple column-aligned text table (the harness prints the same rows the
+/// paper's tables report, so output must be easy to eyeball and diff).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header arity.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with column alignment (header, separator, rows).
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(
+            &widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with adaptive precision (tables mix ms and minutes).
+pub fn secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.1 {
+        format!("{:.4}", s)
+    } else if s < 10.0 {
+        format!("{:.3}", s)
+    } else {
+        format!("{:.1}", s)
+    }
+}
+
+/// Format a speedup/scaling ratio.
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:.2}", num / den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(vec!["a", "bb"]);
+        t.row(vec!["1", "22222"]);
+        t.row(vec!["333", "4"]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "all lines same width");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn secs_precision() {
+        assert_eq!(secs(Duration::from_millis(5)), "0.0050");
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+        assert_eq!(secs(Duration::from_secs(90)), "90.0");
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+        assert_eq!(ratio(3.0, 2.0), "1.50");
+    }
+}

@@ -1,0 +1,100 @@
+//! Shared workload builders for the experiment binaries.
+
+use asyncgt_graph::generators::{webgraph_like, RmatGenerator, RmatParams, WebGraphParams};
+use asyncgt_graph::weights::{weighted_copy, WeightKind};
+use asyncgt_graph::CsrGraph;
+use asyncgt_storage::{write_sem_graph, SemGraph};
+use asyncgt_storage::reader::SemConfig;
+use std::path::PathBuf;
+
+/// Average out-degree used throughout the paper's RMAT experiments.
+pub const EDGE_FACTOR: u64 = 16;
+
+/// Deterministic seed base so repeated harness runs see identical graphs.
+pub const SEED: u64 = 0x5C20_1000;
+
+/// The two RMAT families of the evaluation, with their table labels.
+pub fn rmat_families() -> [(&'static str, RmatParams); 2] {
+    [("RMAT-A", RmatParams::RMAT_A), ("RMAT-B", RmatParams::RMAT_B)]
+}
+
+/// Directed unweighted RMAT graph at `scale` (BFS/SSSP topology).
+pub fn rmat_directed(params: RmatParams, scale: u32) -> CsrGraph<u32> {
+    RmatGenerator::new(params, scale, EDGE_FACTOR, SEED + scale as u64).directed()
+}
+
+/// Undirected RMAT graph at `scale` (CC input; reverse edges added).
+pub fn rmat_undirected(params: RmatParams, scale: u32) -> CsrGraph<u32> {
+    RmatGenerator::new(params, scale, EDGE_FACTOR, SEED + scale as u64).undirected()
+}
+
+/// Weighted copy of a directed RMAT graph (Table II inputs).
+pub fn rmat_weighted(params: RmatParams, scale: u32, kind: WeightKind) -> CsrGraph<u32> {
+    weighted_copy(&rmat_directed(params, scale), kind, SEED ^ 0xBEEF)
+}
+
+/// Scaled-down stand-ins for the paper's five real web crawls
+/// (see DESIGN.md §3 for the substitution rationale). `scale_n` is the
+/// vertex count to generate at (the originals range 41M–1.7B).
+pub fn web_graphs(scale_n: u64) -> Vec<(&'static str, CsrGraph<u32>)> {
+    vec![
+        ("ClueWeb09*", webgraph_like(&WebGraphParams::clueweb_like(scale_n, SEED + 1))),
+        ("it-2004*", webgraph_like(&WebGraphParams::it2004_like(scale_n, SEED + 2))),
+        ("sk-2005*", webgraph_like(&WebGraphParams::sk2005_like(scale_n, SEED + 3))),
+        ("uk-union*", webgraph_like(&WebGraphParams::uk_union_like(scale_n, SEED + 4))),
+        ("webbase-2001*", webgraph_like(&WebGraphParams::webbase_like(scale_n, SEED + 5))),
+    ]
+}
+
+/// Scratch directory for SEM graph files.
+pub fn scratch_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join("asyncgt_bench");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Serialize `graph` into the scratch directory and reopen it semi-external
+/// with the given configuration.
+pub fn as_sem(graph: &CsrGraph<u32>, name: &str, config: SemConfig) -> SemGraph {
+    let path = scratch_dir().join(format!("{name}.agt"));
+    write_sem_graph(&path, graph).expect("write SEM graph");
+    SemGraph::open_with(&path, config).expect("open SEM graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncgt_graph::Graph;
+
+    #[test]
+    fn rmat_workloads_are_deterministic() {
+        let a = rmat_directed(RmatParams::RMAT_A, 8);
+        let b = rmat_directed(RmatParams::RMAT_A, 8);
+        assert_eq!(a.targets(), b.targets());
+        assert_eq!(a.num_edges(), 256 * EDGE_FACTOR);
+    }
+
+    #[test]
+    fn weighted_workload_has_weights() {
+        let g = rmat_weighted(RmatParams::RMAT_B, 8, WeightKind::Uniform);
+        assert!(g.is_weighted());
+    }
+
+    #[test]
+    fn sem_round_trip() {
+        let g = rmat_directed(RmatParams::RMAT_A, 7);
+        let sem = as_sem(&g, "workload_test", SemConfig::default());
+        assert_eq!(sem.num_vertices(), g.num_vertices());
+        assert_eq!(sem.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn web_graph_stand_ins_build() {
+        let graphs = web_graphs(1024);
+        assert_eq!(graphs.len(), 5);
+        for (name, g) in &graphs {
+            assert_eq!(g.num_vertices(), 1024, "{name}");
+            assert!(g.num_edges() > 0, "{name}");
+        }
+    }
+}

@@ -1,0 +1,362 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use asyncgt::graph::generators::{webgraph_edges, RmatGenerator, RmatParams, WebGraphParams};
+use asyncgt::graph::traits::WeightedEdgeList;
+use asyncgt::graph::weights::{assign_weights, WeightKind};
+use asyncgt::graph::{io, stats, CsrGraph, Graph, GraphBuilder};
+use asyncgt::storage::reader::SemConfig;
+use asyncgt::storage::{write_sem_graph, DeviceModel, SemGraph, SimulatedFlash};
+use asyncgt::{bfs, connected_components, sssp, Config};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Top-level usage text.
+pub const USAGE: &str = "usage:
+  agt generate rmat --scale N [--variant a|b] [--edge-factor K] [--seed S]
+               [--weights uw|luw] [--undirected] -o OUT
+  agt generate web --pages N [--like sk2005|ukunion|webbase|it2004|clueweb]
+               [--seed S] -o OUT
+  agt convert IN OUT            (edge list <-> SEM CSR, by extension)
+  agt info FILE.agt
+  agt bfs  FILE.agt [--source V] [--threads T] [--device MODEL] [--validate]
+  agt sssp FILE.agt [--source V] [--threads T] [--device MODEL] [--validate]
+  agt cc   FILE.agt [--threads T] [--device MODEL] [--validate]
+  agt pagerank FILE.agt [--threads T] [--device MODEL]
+
+OUT extension picks the format: .agt (SEM CSR), .txt (text edge list),
+anything else (binary edge list). MODEL: fusionio | intel | corsair.";
+
+/// Dispatch a full argv to its subcommand.
+pub fn dispatch(argv: &[String]) -> Result<(), String> {
+    let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&args),
+        "convert" => convert(&args),
+        "info" => info(&args),
+        "bfs" => traverse(&args, Algo::Bfs),
+        "sssp" => traverse(&args, Algo::Sssp),
+        "cc" => traverse(&args, Algo::Cc),
+        "pagerank" => cmd_pagerank(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), String> {
+    let kind = args.pos(0).ok_or("generate: missing generator (rmat|web)")?;
+    let out = args.get("-o").ok_or("generate: missing -o OUT")?.to_string();
+    let seed = args.get_parsed("--seed", 42u64)?;
+
+    let (num_vertices, mut edges): (u64, WeightedEdgeList) = match kind {
+        "rmat" => {
+            let scale = args.get_parsed("--scale", 14u32)?;
+            let ef = args.get_parsed("--edge-factor", 16u64)?;
+            let params = match args.get("--variant").unwrap_or("a") {
+                "a" | "A" => RmatParams::RMAT_A,
+                "b" | "B" => RmatParams::RMAT_B,
+                v => return Err(format!("unknown RMAT variant {v:?} (a|b)")),
+            };
+            let gen = RmatGenerator::new(params, scale, ef, seed);
+            (gen.num_vertices(), gen.edges())
+        }
+        "web" => {
+            let pages = args.get_parsed("--pages", 100_000u64)?;
+            let params = match args.get("--like").unwrap_or("sk2005") {
+                "sk2005" => WebGraphParams::sk2005_like(pages, seed),
+                "ukunion" => WebGraphParams::uk_union_like(pages, seed),
+                "webbase" => WebGraphParams::webbase_like(pages, seed),
+                "it2004" => WebGraphParams::it2004_like(pages, seed),
+                "clueweb" => WebGraphParams::clueweb_like(pages, seed),
+                v => return Err(format!("unknown web model {v:?}")),
+            };
+            (pages, webgraph_edges(&params))
+        }
+        other => return Err(format!("unknown generator {other:?} (rmat|web)")),
+    };
+
+    let weighted = match args.get("--weights") {
+        None => false,
+        Some("uw") => {
+            assign_weights(&mut edges, WeightKind::Uniform, num_vertices, seed ^ 0xBEEF);
+            true
+        }
+        Some("luw") => {
+            assign_weights(&mut edges, WeightKind::LogUniform, num_vertices, seed ^ 0xBEEF);
+            true
+        }
+        Some(v) => return Err(format!("unknown weight kind {v:?} (uw|luw)")),
+    };
+
+    let mut builder = GraphBuilder::from_edges(num_vertices, edges, weighted);
+    if args.has("undirected") {
+        builder = builder.symmetrize().dedup();
+    }
+    write_graph_as(&out, builder, weighted)?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// Write a built graph / its edge list in the format `path` implies.
+fn write_graph_as(path: &str, builder: GraphBuilder, weighted: bool) -> Result<(), String> {
+    if path.ends_with(".agt") {
+        let g: CsrGraph<u32> = builder.build();
+        write_sem_graph(path, &g).map_err(|e| format!("write {path}: {e}"))?;
+        return Ok(());
+    }
+    // Re-extract the edge list from a built CSR for deterministic order.
+    let g: CsrGraph<u32> = builder.build();
+    let mut edges: WeightedEdgeList = Vec::with_capacity(g.num_edges() as usize);
+    for v in 0..g.num_vertices() {
+        g.for_each_neighbor(v, |t, w| edges.push((v, t, w)));
+    }
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let res = if path.ends_with(".txt") {
+        io::write_text(file, g.num_vertices(), &edges, weighted)
+    } else {
+        io::write_binary(file, g.num_vertices(), &edges, weighted)
+    };
+    res.map_err(|e| format!("write {path}: {e}"))
+}
+
+fn read_edge_list(path: &str) -> Result<(io::EdgeListHeader, WeightedEdgeList), String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let res = if path.ends_with(".txt") {
+        io::read_text(file)
+    } else {
+        io::read_binary(file)
+    };
+    res.map_err(|e| format!("read {path}: {e}"))
+}
+
+fn convert(args: &Args) -> Result<(), String> {
+    if args.pos_len() != 2 {
+        return Err("convert: need IN and OUT paths".into());
+    }
+    let (input, output) = (args.pos(0).unwrap(), args.pos(1).unwrap());
+
+    if input.ends_with(".agt") {
+        // SEM CSR -> edge list.
+        let sem = SemGraph::open(input).map_err(|e| format!("open {input}: {e}"))?;
+        let weighted = sem.is_weighted();
+        let mut edges: WeightedEdgeList = Vec::with_capacity(sem.num_edges() as usize);
+        for v in 0..sem.num_vertices() {
+            sem.for_each_neighbor(v, |t, w| edges.push((v, t, w)));
+        }
+        let file = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+        let res = if output.ends_with(".txt") {
+            io::write_text(file, sem.num_vertices(), &edges, weighted)
+        } else {
+            io::write_binary(file, sem.num_vertices(), &edges, weighted)
+        };
+        res.map_err(|e| format!("write {output}: {e}"))?;
+    } else {
+        // Edge list -> any format.
+        let (hdr, edges) = read_edge_list(input)?;
+        let builder = GraphBuilder::from_edges(hdr.num_vertices, edges, hdr.weighted);
+        write_graph_as(output, builder, hdr.weighted)?;
+    }
+    println!("converted {input} -> {output}");
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let path = args.pos(0).ok_or("info: missing FILE.agt")?;
+    let sem = SemGraph::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let h = sem.header();
+    println!("file            : {path}");
+    println!("vertices        : {}", h.num_vertices);
+    println!("edges           : {}", h.num_edges);
+    println!("index width     : {} bytes", h.index_width);
+    println!("weighted        : {}", h.weighted);
+    println!("edge region     : {:.1} MB", sem.edge_region_bytes() as f64 / 1e6);
+    let d = stats::degree_stats(&sem);
+    println!(
+        "out-degree      : min {} / mean {:.1} / max {} ({} isolated)",
+        d.min, d.mean, d.max, d.zeros
+    );
+    Ok(())
+}
+
+fn open_sem(args: &Args, path: &str) -> Result<SemGraph, String> {
+    let device = match args.get("--device") {
+        None => None,
+        Some("fusionio") => Some(DeviceModel::fusion_io()),
+        Some("intel") => Some(DeviceModel::intel_x25m()),
+        Some("corsair") => Some(DeviceModel::corsair_p128()),
+        Some(v) => return Err(format!("unknown device {v:?}")),
+    };
+    let sem_cfg = SemConfig {
+        block_size: args.get_parsed("--block-kb", 64usize)? * 1024,
+        cache_blocks: args.get_parsed("--cache-blocks", 4096usize)?,
+        device: device.map(|m| Arc::new(SimulatedFlash::new(m))),
+    };
+    SemGraph::open_with(path, sem_cfg).map_err(|e| format!("open {path}: {e}"))
+}
+
+fn cmd_pagerank(args: &Args) -> Result<(), String> {
+    use asyncgt::{pagerank, PageRankParams};
+    let path = args.pos(0).ok_or("missing FILE.agt")?;
+    let threads = args.get_parsed("--threads", 16usize)?;
+    let sem = open_sem(args, path)?;
+    let t = Instant::now();
+    let out = pagerank(&sem, &PageRankParams::default(), &Config::with_threads(threads));
+    println!("elapsed         : {:?}", t.elapsed());
+    println!("rank commits    : {}", out.commits);
+    println!("committed mass  : {:.6}", out.committed_mass());
+    println!("top 10:");
+    for (i, (v, score)) in out.top_k(10).into_iter().enumerate() {
+        println!("  #{:<2} vertex {v:>10}  {score:.4e}", i + 1);
+    }
+    Ok(())
+}
+
+enum Algo {
+    Bfs,
+    Sssp,
+    Cc,
+}
+
+fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
+    let path = args.pos(0).ok_or("missing FILE.agt")?;
+    let threads = args.get_parsed("--threads", 16usize)?;
+    let source = args.get_parsed("--source", 0u64)?;
+
+    let device = match args.get("--device") {
+        None => None,
+        Some("fusionio") => Some(DeviceModel::fusion_io()),
+        Some("intel") => Some(DeviceModel::intel_x25m()),
+        Some("corsair") => Some(DeviceModel::corsair_p128()),
+        Some(v) => return Err(format!("unknown device {v:?}")),
+    };
+    let sem_cfg = SemConfig {
+        block_size: args.get_parsed("--block-kb", 64usize)? * 1024,
+        cache_blocks: args.get_parsed("--cache-blocks", 4096usize)?,
+        device: device.map(|m| Arc::new(SimulatedFlash::new(m))),
+    };
+    let sem = SemGraph::open_with(path, sem_cfg).map_err(|e| format!("open {path}: {e}"))?;
+    let cfg = Config::with_threads(threads);
+
+    let t = Instant::now();
+    match algo {
+        Algo::Bfs | Algo::Sssp => {
+            let out = match algo {
+                Algo::Bfs => bfs(&sem, source, &cfg),
+                _ => sssp(&sem, source, &cfg),
+            };
+            println!("elapsed         : {:?}", t.elapsed());
+            println!("reached         : {} ({:.1}%)", out.reached_count(), out.visited_fraction() * 100.0);
+            println!("levels/dists    : {}", out.level_count());
+            println!("visitors        : {} executed, {:.2} per relaxation", out.stats.visitors_executed, out.revisit_factor());
+            if args.has("validate") {
+                let unit = matches!(algo, Algo::Bfs);
+                asyncgt::validate::check_shortest_paths(&sem, source, &out, unit)
+                    .map_err(|e| format!("validation failed: {e}"))?;
+                println!("validation      : ok");
+            }
+        }
+        Algo::Cc => {
+            let out = connected_components(&sem, &cfg);
+            println!("elapsed         : {:?}", t.elapsed());
+            println!("components      : {}", out.component_count());
+            println!("largest         : {} vertices", out.largest_component_size());
+            println!("visitors        : {} executed", out.stats.visitors_executed);
+            if args.has("validate") {
+                asyncgt::validate::check_components(&sem, &out.ccid)
+                    .map_err(|e| format!("validation failed: {e}"))?;
+                println!("validation      : ok");
+            }
+        }
+    }
+    let io_stats = sem.io_stats();
+    println!(
+        "I/O             : {} adjacency reads, {} block misses, {:.1} MB",
+        io_stats.adjacency_reads,
+        io_stats.cache_misses,
+        io_stats.bytes_read as f64 / 1e6
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(line: &str) -> Result<(), String> {
+        let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
+        dispatch(&argv)
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("asyncgt_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run("frobnicate").is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn generate_info_traverse_round_trip() {
+        let agt = tmp("cli_rt.agt");
+        run(&format!(
+            "generate rmat --scale 9 --variant b --weights uw -o {agt}"
+        ))
+        .unwrap();
+        run(&format!("info {agt}")).unwrap();
+        run(&format!("bfs {agt} --threads 4 --validate")).unwrap();
+        run(&format!("sssp {agt} --threads 4 --validate")).unwrap();
+    }
+
+    #[test]
+    fn generate_undirected_and_cc() {
+        let agt = tmp("cli_cc.agt");
+        run(&format!(
+            "generate web --pages 2000 --like webbase --undirected -o {agt}"
+        ))
+        .unwrap();
+        run(&format!("cc {agt} --threads 8 --validate")).unwrap();
+    }
+
+    #[test]
+    fn convert_edge_list_to_sem_and_back() {
+        let txt = tmp("cli_conv.txt");
+        let agt = tmp("cli_conv.agt");
+        let back = tmp("cli_back.txt");
+        run(&format!("generate rmat --scale 8 -o {txt}")).unwrap();
+        run(&format!("convert {txt} {agt}")).unwrap();
+        run(&format!("convert {agt} {back}")).unwrap();
+        // Round trip preserves the edge multiset.
+        let (h1, mut e1) = read_edge_list(&txt).unwrap();
+        let (h2, mut e2) = read_edge_list(&back).unwrap();
+        assert_eq!(h1.num_vertices, h2.num_vertices);
+        e1.sort_unstable();
+        e2.sort_unstable();
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn traverse_with_simulated_device() {
+        let agt = tmp("cli_dev.agt");
+        run(&format!("generate rmat --scale 8 -o {agt}")).unwrap();
+        run(&format!(
+            "bfs {agt} --threads 32 --device fusionio --block-kb 8 --validate"
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn bad_flags_error_cleanly() {
+        assert!(run("generate rmat --variant z -o x.agt").is_err());
+        assert!(run("generate web --like nope -o x.agt").is_err());
+        assert!(run("bfs missing_file.agt").is_err());
+        assert!(run("convert only_one_arg").is_err());
+    }
+}

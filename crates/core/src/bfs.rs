@@ -1,0 +1,157 @@
+//! Asynchronous Breadth-First Search.
+//!
+//! Per the paper (§III-B): "we compute a Breadth First Search (BFS) by
+//! applying our asynchronous SSSP algorithm with all edge weights equal
+//! to 1" — the distance array then holds BFS level numbers and the
+//! priority queues drain levels approximately in order, without barriers
+//! between levels.
+
+use crate::config::Config;
+use crate::result::TraversalOutput;
+use crate::sssp::run_sssp;
+use asyncgt_graph::{Graph, Vertex};
+
+/// Asynchronous BFS from `source`. Edge weights, if any, are ignored.
+///
+/// ```
+/// use asyncgt::{bfs, Config};
+/// use asyncgt::graph::generators::binary_tree;
+///
+/// let g = binary_tree(4);
+/// let out = bfs(&g, 0, &Config::with_threads(2));
+/// assert_eq!(out.dist[0], 0);
+/// assert_eq!(out.dist[14], 3); // leaves of a 4-level tree
+/// assert_eq!(out.level_count(), 4);
+/// ```
+pub fn bfs<G: Graph>(g: &G, source: Vertex, cfg: &Config) -> TraversalOutput {
+    run_sssp(g, source, cfg, true)
+}
+
+/// Multi-source asynchronous BFS: `dist[v]` is the hop distance to the
+/// *nearest* source and `parent[v]` a predecessor on such a path.
+///
+/// The visitor framework makes this free — the traversal is seeded with
+/// one visitor per source instead of one (the same generalization the
+/// paper's CC algorithm uses by seeding *every* vertex). Useful for the
+/// "distance to the closest server/seed page" analyses the paper's
+/// application domains motivate.
+///
+/// ```
+/// use asyncgt::{bfs_multi_source, Config};
+/// use asyncgt::graph::generators::path_graph;
+///
+/// let g = path_graph(6); // 0→1→2→3→4→5
+/// let out = bfs_multi_source(&g, &[0, 4], &Config::with_threads(2));
+/// assert_eq!(out.dist, vec![0, 1, 2, 3, 0, 1]);
+/// ```
+pub fn bfs_multi_source<G: Graph>(g: &G, sources: &[Vertex], cfg: &Config) -> TraversalOutput {
+    crate::sssp::run_sssp_multi(g, sources, cfg, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncgt_baselines::{level_sync, serial};
+    use asyncgt_graph::generators::{
+        binary_tree, grid_graph, path_graph, star_graph, RmatGenerator, RmatParams,
+    };
+    use asyncgt_graph::weights::{weighted_copy, WeightKind};
+    use asyncgt_graph::INF_DIST;
+
+    #[test]
+    fn matches_serial_on_rmat() {
+        for (params, seed) in [(RmatParams::RMAT_A, 7u64), (RmatParams::RMAT_B, 8)] {
+            let g = RmatGenerator::new(params, 10, 8, seed).directed();
+            let expect = serial::bfs(&g, 0);
+            for threads in [1, 4, 64] {
+                let out = bfs(&g, 0, &Config::with_threads(threads));
+                assert_eq!(out.dist, expect.dist, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_level_sync_on_grid() {
+        let g = grid_graph(20, 20);
+        let ours = bfs(&g, 0, &Config::with_threads(8));
+        let sync = level_sync::bfs(&g, 0, 4);
+        assert_eq!(ours.dist, sync.dist);
+    }
+
+    #[test]
+    fn ignores_weights() {
+        let g = RmatGenerator::new(RmatParams::RMAT_A, 9, 8, 2).directed();
+        let wg = weighted_copy(&g, WeightKind::Uniform, 1);
+        let unweighted = bfs(&g, 0, &Config::with_threads(4));
+        let weighted = bfs(&wg, 0, &Config::with_threads(4));
+        assert_eq!(unweighted.dist, weighted.dist, "BFS must ignore weights");
+    }
+
+    #[test]
+    fn star_reached_in_one_level() {
+        let out = bfs(&star_graph(100), 0, &Config::with_threads(8));
+        assert_eq!(out.level_count(), 2); // level 0 (hub) + level 1
+        assert_eq!(out.reached_count(), 100);
+        assert!(out.dist[1..].iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn disconnected_part_unreached() {
+        let g = path_graph(6);
+        let out = bfs(&g, 3, &Config::with_threads(2));
+        assert_eq!(out.dist[..3], [INF_DIST, INF_DIST, INF_DIST]);
+        assert_eq!(out.dist[3..], [0, 1, 2]);
+        assert!((out.visited_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parents_form_bfs_tree() {
+        let g = binary_tree(5);
+        let out = bfs(&g, 0, &Config::with_threads(4));
+        for v in 1..g.num_vertices() {
+            let p = out.parent[v as usize];
+            assert_eq!(out.dist[v as usize], out.dist[p as usize] + 1);
+            assert!(g.neighbors(p).contains(&v));
+        }
+    }
+
+    #[test]
+    fn multi_source_is_min_over_single_sources() {
+        let g = RmatGenerator::new(RmatParams::RMAT_B, 9, 6, 44).directed();
+        let sources = [0u64, 17, 200];
+        let multi = bfs_multi_source(&g, &sources, &Config::with_threads(8));
+        let singles: Vec<_> = sources
+            .iter()
+            .map(|&s| serial::bfs(&g, s).dist)
+            .collect();
+        for v in 0..g.num_vertices() as usize {
+            let want = singles.iter().map(|d| d[v]).min().unwrap();
+            assert_eq!(multi.dist[v], want, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn multi_source_single_equals_bfs() {
+        let g = grid_graph(10, 10);
+        let a = bfs(&g, 3, &Config::with_threads(4));
+        let b = bfs_multi_source(&g, &[3], &Config::with_threads(4));
+        assert_eq!(a.dist, b.dist);
+    }
+
+    #[test]
+    #[should_panic]
+    fn multi_source_empty_panics() {
+        let g = path_graph(3);
+        let _ = bfs_multi_source(&g, &[], &Config::default());
+    }
+
+    #[test]
+    fn every_source_works() {
+        let g = RmatGenerator::new(RmatParams::RMAT_A, 7, 4, 55).directed();
+        for source in [0u64, 1, 63, 127] {
+            let out = bfs(&g, source, &Config::with_threads(4));
+            let expect = serial::bfs(&g, source);
+            assert_eq!(out.dist, expect.dist, "source={source}");
+        }
+    }
+}

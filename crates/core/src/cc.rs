@@ -1,0 +1,243 @@
+//! Asynchronous Connected Components — paper Algorithms 3 & 4.
+//!
+//! "Each vertex is labeled by the smallest vertex descriptor that is
+//! connectable … Our approach to CC can be viewed as performing parallel
+//! BFS starting from every vertex. When two BFSs that started from
+//! different vertices merge, the BFS that started from the lowest vertex
+//! identifier takes over the remainder of both traversals."
+
+use crate::config::Config;
+use crate::result::TraversalStats;
+use asyncgt_graph::{stats, Graph, Vertex, INF_DIST};
+use asyncgt_vq::{AtomicStateArray, PushCtx, VisitHandler, Visitor, VisitorQueue};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The paper's `UCCVertexVisitor`: a candidate component id for `vertex`.
+///
+/// Ids are stored as `u32` (an 8-byte visitor — CC floods one visitor per
+/// edge per label improvement, so queue compactness matters most here);
+/// [`connected_components`] rejects graphs with ≥ 2^32 vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CcVisitor {
+    ccid: u32,
+    vertex: u32,
+}
+
+impl Ord for CcVisitor {
+    /// "Prioritized by UCCVertexVisitor's cur_ccid" (Algorithm 3 line 3),
+    /// with the vertex id as the SEM semi-sort secondary key.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.ccid, self.vertex).cmp(&(other.ccid, other.vertex))
+    }
+}
+
+impl PartialOrd for CcVisitor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Visitor for CcVisitor {
+    fn target(&self) -> u64 {
+        self.vertex as u64
+    }
+    fn priority(&self) -> u64 {
+        self.ccid as u64
+    }
+}
+
+struct CcHandler<'a, G> {
+    g: &'a G,
+    ccid: &'a AtomicStateArray,
+    relaxations: &'a AtomicU64,
+    prune: bool,
+}
+
+impl<'a, G: Graph> VisitHandler<CcVisitor> for CcHandler<'a, G> {
+    fn visit(&self, v: CcVisitor, ctx: &mut PushCtx<'_, CcVisitor>) {
+        // Algorithm 4: relax the component id if the candidate is smaller,
+        // then flood it to every neighbor.
+        let vertex = v.vertex as u64;
+        if (v.ccid as u64) < self.ccid.get(vertex) {
+            self.ccid.set(vertex, v.ccid as u64);
+            self.relaxations.fetch_add(1, Ordering::Relaxed);
+            self.g.for_each_neighbor(vertex, |t, _| {
+                if self.prune && v.ccid as u64 >= self.ccid.get(t) {
+                    return;
+                }
+                ctx.push(CcVisitor {
+                    ccid: v.ccid,
+                    vertex: t as u32,
+                });
+            });
+        }
+    }
+}
+
+/// Result of an asynchronous connected-components run.
+#[derive(Clone, Debug)]
+pub struct CcOutput {
+    /// Component label per vertex: the smallest vertex id reachable from
+    /// it. Isolated vertices label themselves.
+    pub ccid: Vec<Vertex>,
+    /// Run statistics.
+    pub stats: TraversalStats,
+}
+
+impl CcOutput {
+    /// Number of connected components — Table III's `# CCs` column.
+    pub fn component_count(&self) -> u64 {
+        stats::component_count(&self.ccid)
+    }
+
+    /// Size of the largest ("giant") component.
+    pub fn largest_component_size(&self) -> u64 {
+        stats::largest_component_size(&self.ccid)
+    }
+}
+
+/// Asynchronous connected components of an *undirected* graph (every edge
+/// stored in both directions, as produced by
+/// [`GraphBuilder::symmetrize`](asyncgt_graph::GraphBuilder::symmetrize)).
+///
+/// ```
+/// use asyncgt::{connected_components, Config};
+/// use asyncgt::graph::GraphBuilder;
+///
+/// // Two components: {0, 1} and {2}.
+/// let g: asyncgt::CsrGraph = GraphBuilder::new(3)
+///     .add_edge(0, 1)
+///     .symmetrize()
+///     .build();
+/// let out = connected_components(&g, &Config::with_threads(2));
+/// assert_eq!(out.ccid, vec![0, 0, 2]);
+/// assert_eq!(out.component_count(), 2);
+/// ```
+pub fn connected_components<G: Graph>(g: &G, cfg: &Config) -> CcOutput {
+    let n = g.num_vertices();
+    assert!(
+        n < u32::MAX as u64,
+        "async traversal stores vertex ids as u32 (paper max scale is 2^30); \
+         got {n} vertices"
+    );
+    // Algorithm 3: ccid_array initialized to ∞; one visitor per vertex
+    // carrying its own descriptor as the starting component id.
+    let ccid = AtomicStateArray::new(n as usize, INF_DIST);
+    let relaxations = AtomicU64::new(0);
+
+    let handler = CcHandler {
+        g,
+        ccid: &ccid,
+        relaxations: &relaxations,
+        prune: cfg.prune_pushes,
+    };
+
+    let init = (0..n as u32).map(|v| CcVisitor { ccid: v, vertex: v });
+    // Component-id priorities span the whole vertex-id space (every vertex
+    // seeds itself), so lg(n) − 10 classes fit the queue's bucket ring.
+    let default_shift = crate::config::lg2(n).saturating_sub(10);
+    let run = VisitorQueue::run(&cfg.vq(default_shift), &handler, init);
+
+    CcOutput {
+        ccid: ccid.to_vec(),
+        stats: TraversalStats {
+            visitors_executed: run.visitors_executed,
+            visitors_pushed: run.visitors_pushed,
+            local_pushes: run.local_pushes,
+            parks: run.parks,
+            inbox_batches: run.inbox_batches,
+            relaxations: relaxations.into_inner(),
+            elapsed: run.elapsed,
+            num_threads: run.num_threads,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asyncgt_baselines::{serial, union_find};
+    use asyncgt_graph::generators::{cycle_graph, grid_graph, RmatGenerator, RmatParams};
+    use asyncgt_graph::generators::{webgraph_like, WebGraphParams};
+    use asyncgt_graph::{CsrGraph, GraphBuilder};
+
+    #[test]
+    fn empty_graph_components() {
+        let g: CsrGraph<u32> = CsrGraph::empty(5);
+        let out = connected_components(&g, &Config::with_threads(2));
+        assert_eq!(out.ccid, vec![0, 1, 2, 3, 4]);
+        assert_eq!(out.component_count(), 5);
+    }
+
+    #[test]
+    fn matches_serial_on_rmat() {
+        for (params, seed) in [(RmatParams::RMAT_A, 3u64), (RmatParams::RMAT_B, 4)] {
+            let g = RmatGenerator::new(params, 10, 4, seed).undirected();
+            let expect = serial::connected_components(&g);
+            for threads in [1, 8, 64] {
+                let out = connected_components(&g, &Config::with_threads(threads));
+                assert_eq!(out.ccid, expect, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_union_find_on_webgraph() {
+        let g = webgraph_like(&WebGraphParams {
+            num_vertices: 2048,
+            avg_degree: 6,
+            host_size: 64,
+            intra_host_prob: 0.8,
+            copy_prob: 0.5,
+            isolated_frac: 0.05,
+            seed: 12,
+        });
+        let out = connected_components(&g, &Config::with_threads(16));
+        assert_eq!(out.ccid, union_find::connected_components(&g));
+        assert!(out.component_count() > 1, "isolated pages exist");
+    }
+
+    #[test]
+    fn single_component_labels_zero() {
+        let out = connected_components(&cycle_graph(64), &Config::with_threads(4));
+        assert!(out.ccid.iter().all(|&c| c == 0));
+        assert_eq!(out.component_count(), 1);
+        assert_eq!(out.largest_component_size(), 64);
+    }
+
+    #[test]
+    fn grid_is_one_component() {
+        let out = connected_components(&grid_graph(16, 16), &Config::with_threads(8));
+        assert_eq!(out.component_count(), 1);
+    }
+
+    #[test]
+    fn two_components_with_gap() {
+        // {0,2,4} and {1,3}: labels are the minima 0 and 1.
+        let mut b = GraphBuilder::new(5);
+        for (s, t) in [(0, 2), (2, 4), (1, 3)] {
+            b = b.add_edge(s, t);
+        }
+        let g: CsrGraph<u32> = b.symmetrize().build();
+        let out = connected_components(&g, &Config::with_threads(4));
+        assert_eq!(out.ccid, vec![0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn pruning_preserves_labels() {
+        let g = RmatGenerator::new(RmatParams::RMAT_B, 10, 4, 9).undirected();
+        let base = connected_components(&g, &Config::with_threads(8));
+        let pruned = connected_components(&g, &Config::with_threads(8).with_pruning());
+        assert_eq!(base.ccid, pruned.ccid);
+        assert!(pruned.stats.visitors_pushed <= base.stats.visitors_pushed);
+    }
+
+    #[test]
+    fn stats_account_initial_seeds() {
+        let g = cycle_graph(32);
+        let out = connected_components(&g, &Config::with_threads(2));
+        // Every vertex seeds one visitor; all must execute.
+        assert!(out.stats.visitors_executed >= 32);
+        assert!(out.stats.relaxations >= 32, "every vertex relaxes at least once");
+    }
+}

@@ -1,0 +1,118 @@
+//! Traversal configuration.
+
+use asyncgt_vq::VqConfig;
+use std::time::Duration;
+
+/// Configuration shared by all asynchronous traversals.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Worker threads (= visitor queues). May exceed the core count —
+    /// thread oversubscription is the paper's §IV-A tuning knob ("using as
+    /// many as 512 threads on 16 cores offers substantial benefit"), and
+    /// for semi-external graphs it is what keeps enough I/O requests in
+    /// flight to saturate the device (paper Fig. 1).
+    pub num_threads: usize,
+
+    /// When `true`, a visitor for vertex `t` with candidate distance `d` is
+    /// only pushed if `d` improves on `t`'s currently published label.
+    ///
+    /// The paper's Algorithm 2 pushes unconditionally (the check happens at
+    /// visit time); pruning at push time is a work-saving refinement that
+    /// never changes results (labels are monotonically decreasing, so a
+    /// stale read can only *fail* to prune). Off by default for paper
+    /// fidelity; the `ablation` bench measures its effect.
+    pub prune_pushes: bool,
+
+    /// Idle-worker spin iterations before parking (see
+    /// [`VqConfig::spin_iters`]).
+    pub spin_iters: u32,
+
+    /// Park-timeout bound for idle workers (see
+    /// [`VqConfig::park_timeout`]).
+    pub park_timeout: Duration,
+
+    /// Priority-class width override for the bucketed queues, as a right
+    /// shift of the visitor priority. `None` (default) picks per
+    /// algorithm: exact levels for BFS, `lg(n) − 9` for weighted SSSP
+    /// (delta-stepping-like classes), `lg(n) − 10` for CC (the whole id
+    /// space fits the bucket ring).
+    pub priority_shift: Option<u32>,
+
+    /// Sort each queue bucket before draining (see
+    /// [`VqConfig::sort_buckets`]) — the paper's SEM semi-sort. On by
+    /// default; the `ablation` bench quantifies it.
+    pub sort_buckets: bool,
+}
+
+impl Config {
+    /// `num_threads` workers, defaults otherwise.
+    pub fn with_threads(num_threads: usize) -> Self {
+        Config {
+            num_threads: num_threads.max(1),
+            ..Default::default()
+        }
+    }
+
+    /// Enable push-time pruning (see [`Config::prune_pushes`]).
+    pub fn with_pruning(mut self) -> Self {
+        self.prune_pushes = true;
+        self
+    }
+
+    /// Derive the underlying visitor-queue configuration.
+    /// `default_shift` is the per-algorithm class width used when the user
+    /// did not override [`Config::priority_shift`].
+    pub(crate) fn vq(&self, default_shift: u32) -> VqConfig {
+        let mut vq = VqConfig::with_threads(self.num_threads);
+        vq.spin_iters = self.spin_iters;
+        vq.park_timeout = self.park_timeout;
+        vq.priority_shift = self.priority_shift.unwrap_or(default_shift);
+        vq.sort_buckets = self.sort_buckets;
+        vq
+    }
+}
+
+/// `⌈lg₂ n⌉` for `n ≥ 1`, used to scale priority classes to graph size.
+pub(crate) fn lg2(n: u64) -> u32 {
+    64 - n.max(2).saturating_sub(1).leading_zeros()
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let vq = VqConfig::default();
+        Config {
+            num_threads: vq.num_threads,
+            prune_pushes: false,
+            spin_iters: vq.spin_iters,
+            park_timeout: vq.park_timeout,
+            priority_shift: None,
+            sort_buckets: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_clamps() {
+        assert_eq!(Config::with_threads(0).num_threads, 1);
+    }
+
+    #[test]
+    fn builder_style_pruning() {
+        let c = Config::with_threads(2).with_pruning();
+        assert!(c.prune_pushes);
+        assert!(!Config::default().prune_pushes, "paper-faithful default");
+    }
+
+    #[test]
+    fn vq_config_inherits_fields() {
+        let mut c = Config::with_threads(9);
+        c.spin_iters = 3;
+        let vq = c.vq(0);
+        assert_eq!(vq.num_threads, 9);
+        assert_eq!(vq.spin_iters, 3);
+    }
+}

@@ -1,0 +1,75 @@
+//! # asyncgt — Multithreaded Asynchronous Graph Traversal
+//!
+//! A Rust implementation of *"Multithreaded Asynchronous Graph Traversal
+//! for In-Memory and Semi-External Memory"* (Pearce, Gokhale, Amato;
+//! SC 2010): Breadth-First Search, Single-Source Shortest Paths, and
+//! Connected Components computed **asynchronously** — no barriers, no
+//! per-vertex locks — over prioritized per-thread visitor queues.
+//!
+//! The same three algorithms run unchanged over:
+//!
+//! * **in-memory graphs** — [`CsrGraph`], Boost-CSR style;
+//! * **semi-external-memory graphs** — [`SemGraph`], where only the vertex
+//!   index and algorithm state live in RAM and adjacency lists are fetched
+//!   from storage on demand, optionally through a simulated NAND-flash
+//!   device (see `asyncgt-storage`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use asyncgt::{bfs, sssp, connected_components, Config};
+//! use asyncgt::graph::generators::{RmatGenerator, RmatParams};
+//!
+//! // A small scale-free graph (the paper's RMAT-A parameters).
+//! let gen = RmatGenerator::new(RmatParams::RMAT_A, 10, 16, 42);
+//! let g = gen.directed();
+//!
+//! let cfg = Config::with_threads(4);
+//! let out = bfs(&g, 0, &cfg);
+//! println!("reached {} vertices in {} levels",
+//!          out.reached_count(), out.level_count());
+//!
+//! let und = gen.undirected();
+//! let cc = connected_components(&und, &cfg);
+//! println!("{} components", cc.component_count());
+//! ```
+//!
+//! ## Algorithm family
+//!
+//! All three traversals are **label-correcting** (paper §III): a visitor
+//! carries a candidate label (path length, component id); if it improves
+//! the vertex's current label the vertex is relaxed and visitors are
+//! emitted for its neighbors. Prioritized queues make the traversal
+//! *approximately* best-first — "we cannot guarantee that the absolute
+//! shortest-path vertex is visited at each step, possibly requiring
+//! multiple visits per vertex" — trading redundant visits for the removal
+//! of all synchronization.
+
+pub mod bfs;
+pub mod cc;
+pub mod config;
+pub mod diameter;
+pub mod khop;
+pub mod pagerank;
+pub mod result;
+pub mod sssp;
+pub mod validate;
+
+pub use bfs::{bfs, bfs_multi_source};
+pub use cc::{connected_components, CcOutput};
+pub use config::Config;
+pub use diameter::{double_sweep, eccentricity, DiameterEstimate};
+pub use khop::{bfs_bounded, khop_ball};
+pub use pagerank::{pagerank, PageRankOutput, PageRankParams};
+pub use result::{TraversalOutput, TraversalStats};
+pub use sssp::{sssp, sssp_multi_source};
+
+/// Re-export of the graph substrate (generators, CSR, I/O, statistics).
+pub use asyncgt_graph as graph;
+/// Re-export of the semi-external storage substrate.
+pub use asyncgt_storage as storage;
+/// Re-export of the visitor-queue runtime.
+pub use asyncgt_vq as vq;
+
+pub use asyncgt_graph::{CsrGraph, Graph, Vertex, Weight, INF_DIST, NO_VERTEX};
+pub use asyncgt_storage::SemGraph;

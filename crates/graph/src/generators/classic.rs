@@ -1,0 +1,141 @@
+//! Deterministic graph families for tests, examples, and ablations.
+//!
+//! [`path_graph`] reproduces the paper's Figure 2: "an example directed graph
+//! with poor parallelism for BFS and SSSP" — a chain that serializes the
+//! asynchronous traversal and exhibits its worst-case `O(|E| log |V|)` bound.
+
+use crate::{CsrGraph, GraphBuilder, Vertex};
+
+/// Directed path `0 → 1 → … → n-1` (the paper's Figure 2 worst case).
+pub fn path_graph(n: u64) -> CsrGraph<u32> {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b = b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Undirected cycle on `n` vertices (each edge stored in both directions).
+pub fn cycle_graph(n: u64) -> CsrGraph<u32> {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b = b.add_edge(v, (v + 1) % n);
+    }
+    b.symmetrize().dedup().build()
+}
+
+/// Undirected star: vertex 0 connected to all others. Models an extreme
+/// "hub vertex" of the paper's power-law discussion.
+pub fn star_graph(n: u64) -> CsrGraph<u32> {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b = b.add_edge(0, v);
+    }
+    b.symmetrize().build()
+}
+
+/// Undirected `rows × cols` grid with 4-neighborhoods — a high-diameter,
+/// uniform-degree contrast to scale-free inputs.
+pub fn grid_graph(rows: u64, cols: u64) -> CsrGraph<u32> {
+    assert!(rows >= 1 && cols >= 1);
+    let id = |r: u64, c: u64| -> Vertex { r * cols + c };
+    let mut b = GraphBuilder::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b = b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b = b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.symmetrize().build()
+}
+
+/// Complete directed graph on `n` vertices (no self-loops).
+pub fn complete_graph(n: u64) -> CsrGraph<u32> {
+    let mut b = GraphBuilder::new(n);
+    for s in 0..n {
+        for t in 0..n {
+            if s != t {
+                b = b.add_edge(s, t);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Directed complete binary tree with `levels` levels (root = 0),
+/// `2^levels - 1` vertices. BFS level of vertex `v` is `⌊log2(v+1)⌋`.
+pub fn binary_tree(levels: u32) -> CsrGraph<u32> {
+    assert!((1..32).contains(&levels));
+    let n = (1u64 << levels) - 1;
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        for child in [2 * v + 1, 2 * v + 2] {
+            if child < n {
+                b = b.add_edge(v, child);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), vec![1]);
+        assert_eq!(g.neighbors(4), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn cycle_graph_degrees() {
+        let g = cycle_graph(6);
+        assert_eq!(g.num_edges(), 12);
+        for v in 0..6 {
+            assert_eq!(g.out_degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn star_graph_hub() {
+        let g = star_graph(10);
+        assert_eq!(g.out_degree(0), 9);
+        for v in 1..10 {
+            assert_eq!(g.neighbors(v), vec![0]);
+        }
+    }
+
+    #[test]
+    fn grid_graph_corner_and_center_degrees() {
+        let g = grid_graph(3, 3);
+        assert_eq!(g.num_vertices(), 9);
+        assert_eq!(g.out_degree(0), 2); // corner
+        assert_eq!(g.out_degree(4), 4); // center
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(5);
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    fn binary_tree_structure() {
+        let g = binary_tree(3);
+        assert_eq!(g.num_vertices(), 7);
+        assert_eq!(g.neighbors(0), vec![1, 2]);
+        assert_eq!(g.neighbors(2), vec![5, 6]);
+        assert_eq!(g.out_degree(6), 0);
+    }
+}

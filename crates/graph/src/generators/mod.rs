@@ -1,0 +1,17 @@
+//! Synthetic graph generators used by the paper's evaluation.
+//!
+//! * [`rmat`] — the RMAT recursive-matrix scale-free generator, with the
+//!   paper's RMAT-A (moderate skew) and RMAT-B (heavy skew) parameter sets.
+//! * [`webgraph`] — a power-law + community model standing in for the
+//!   paper's real web crawls (ClueWeb09, it-2004, sk-2005, uk-union,
+//!   webbase-2001), which are not redistributable here.
+//! * [`classic`] — deterministic families (paths, stars, grids, trees, the
+//!   paper's Figure 2 worst-case chain) used by tests and ablations.
+
+pub mod classic;
+pub mod rmat;
+pub mod webgraph;
+
+pub use classic::{binary_tree, complete_graph, cycle_graph, grid_graph, path_graph, star_graph};
+pub use rmat::{RmatGenerator, RmatParams};
+pub use webgraph::{webgraph_edges, webgraph_like, WebGraphParams};

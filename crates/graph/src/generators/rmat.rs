@@ -1,0 +1,254 @@
+//! RMAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos 2004).
+//!
+//! The paper generates "directed graphs with unique edges ranging from
+//! 2^25 − 2^30 vertices and an average out-degree of 16" with two parameter
+//! sets:
+//!
+//! * **RMAT-A**: `a = 0.45, b = 0.15, c = 0.15, d = 0.25` — moderate
+//!   out-degree skewness;
+//! * **RMAT-B**: `a = 0.57, b = 0.19, c = 0.19, d = 0.05` — heavy
+//!   out-degree skewness.
+//!
+//! Each edge is placed by recursively descending `scale` levels of the 2×2
+//! adjacency-matrix partition, choosing quadrant (a, b, c, d) at each level.
+//! Duplicate edges are rejected and regenerated until the requested count of
+//! *unique* edges is reached, matching the paper's "unique edges" phrasing.
+
+use crate::traits::WeightedEdgeList;
+use crate::{CsrGraph, GraphBuilder, Vertex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+
+/// RMAT quadrant probabilities. Must sum to 1 (within 1e-6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Probability of the top-left quadrant (both endpoints in low half).
+    pub a: f64,
+    /// Top-right quadrant.
+    pub b: f64,
+    /// Bottom-left quadrant.
+    pub c: f64,
+    /// Bottom-right quadrant.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// The paper's RMAT-A: moderate out-degree skewness.
+    pub const RMAT_A: RmatParams = RmatParams {
+        a: 0.45,
+        b: 0.15,
+        c: 0.15,
+        d: 0.25,
+    };
+
+    /// The paper's RMAT-B: heavy out-degree skewness.
+    pub const RMAT_B: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    /// Validate that the probabilities form a distribution.
+    pub fn validate(&self) -> Result<(), String> {
+        let sum = self.a + self.b + self.c + self.d;
+        if (sum - 1.0).abs() > 1e-6 {
+            return Err(format!("RMAT probabilities sum to {sum}, expected 1.0"));
+        }
+        if [self.a, self.b, self.c, self.d].iter().any(|&p| p < 0.0) {
+            return Err("RMAT probabilities must be non-negative".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Configured RMAT generator.
+///
+/// `scale` gives `n = 2^scale` vertices; `edge_factor` is the average
+/// out-degree (the paper uses 16), so `m = n * edge_factor` unique directed
+/// edges are produced.
+#[derive(Clone, Debug)]
+pub struct RmatGenerator {
+    params: RmatParams,
+    scale: u32,
+    edge_factor: u64,
+    seed: u64,
+}
+
+impl RmatGenerator {
+    /// Create a generator for `2^scale` vertices with the given average
+    /// out-degree and RNG seed.
+    ///
+    /// # Panics
+    /// Panics if the parameters are not a probability distribution, if
+    /// `scale` exceeds 31 (edge keys are packed into `u64` pairs of 32-bit
+    /// halves), or if the requested unique-edge count cannot exist.
+    pub fn new(params: RmatParams, scale: u32, edge_factor: u64, seed: u64) -> Self {
+        params.validate().expect("invalid RMAT parameters");
+        assert!((1..=31).contains(&scale), "scale must be in 1..=31");
+        let n = 1u64 << scale;
+        assert!(
+            edge_factor <= n,
+            "cannot place {} unique edges per vertex in a {}-vertex graph",
+            edge_factor,
+            n
+        );
+        RmatGenerator {
+            params,
+            scale,
+            edge_factor,
+            seed,
+        }
+    }
+
+    /// Number of vertices (`2^scale`).
+    pub fn num_vertices(&self) -> u64 {
+        1u64 << self.scale
+    }
+
+    /// Number of unique directed edges that will be generated.
+    pub fn num_edges(&self) -> u64 {
+        self.num_vertices() * self.edge_factor
+    }
+
+    /// Sample one (src, dst) pair by recursive quadrant descent.
+    #[inline]
+    fn sample_edge(&self, rng: &mut SmallRng) -> (Vertex, Vertex) {
+        let RmatParams { a, b, c, .. } = self.params;
+        let ab = a + b;
+        let abc = ab + c;
+        let mut src = 0u64;
+        let mut dst = 0u64;
+        for level in (0..self.scale).rev() {
+            let bit = 1u64 << level;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left: no bits set
+            } else if r < ab {
+                dst |= bit;
+            } else if r < abc {
+                src |= bit;
+            } else {
+                src |= bit;
+                dst |= bit;
+            }
+        }
+        (src, dst)
+    }
+
+    /// Generate the unique directed edge list (weight `1` placeholders).
+    pub fn edges(&self) -> WeightedEdgeList {
+        let m = self.num_edges() as usize;
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
+        let mut out: WeightedEdgeList = Vec::with_capacity(m);
+        while out.len() < m {
+            let (s, t) = self.sample_edge(&mut rng);
+            let key = (s << 32) | t;
+            if seen.insert(key) {
+                out.push((s, t, 1));
+            }
+        }
+        out
+    }
+
+    /// Generate the directed unweighted graph (BFS/SSSP inputs).
+    pub fn directed(&self) -> CsrGraph<u32> {
+        GraphBuilder::from_edges(self.num_vertices(), self.edges(), false).build()
+    }
+
+    /// Generate the undirected version — "created by adding reverse edges"
+    /// — used for the paper's CC experiments. Reverse duplicates are merged.
+    pub fn undirected(&self) -> CsrGraph<u32> {
+        GraphBuilder::from_edges(self.num_vertices(), self.edges(), false)
+            .symmetrize()
+            .dedup()
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Graph;
+
+    #[test]
+    fn params_validate() {
+        assert!(RmatParams::RMAT_A.validate().is_ok());
+        assert!(RmatParams::RMAT_B.validate().is_ok());
+        assert!(RmatParams {
+            a: 0.5,
+            b: 0.5,
+            c: 0.5,
+            d: 0.5
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn generates_exact_unique_edge_count() {
+        let g = RmatGenerator::new(RmatParams::RMAT_A, 10, 8, 42);
+        let edges = g.edges();
+        assert_eq!(edges.len(), 1024 * 8);
+        let mut set: Vec<(u64, u64)> = edges.iter().map(|&(s, t, _)| (s, t)).collect();
+        set.sort_unstable();
+        set.dedup();
+        assert_eq!(set.len(), edges.len(), "edges must be unique");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RmatGenerator::new(RmatParams::RMAT_B, 8, 4, 7).edges();
+        let b = RmatGenerator::new(RmatParams::RMAT_B, 8, 4, 7).edges();
+        let c = RmatGenerator::new(RmatParams::RMAT_B, 8, 4, 8).edges();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_b_is_more_skewed_than_rmat_a() {
+        // Heavier parameters concentrate edges on low-id vertices: the max
+        // out-degree under RMAT-B should exceed RMAT-A's at equal scale.
+        let max_deg = |p: RmatParams| {
+            let g = RmatGenerator::new(p, 10, 16, 99).directed();
+            (0..g.num_vertices())
+                .map(|v| g.out_degree(v))
+                .max()
+                .unwrap()
+        };
+        let a = max_deg(RmatParams::RMAT_A);
+        let b = max_deg(RmatParams::RMAT_B);
+        assert!(
+            b > a,
+            "expected RMAT-B max degree ({b}) > RMAT-A max degree ({a})"
+        );
+    }
+
+    #[test]
+    fn undirected_contains_reverse_edges() {
+        let gen = RmatGenerator::new(RmatParams::RMAT_A, 8, 4, 3);
+        let g = gen.undirected();
+        for v in 0..g.num_vertices() {
+            for t in g.neighbors(v) {
+                assert!(
+                    g.neighbors(t).contains(&v),
+                    "missing reverse edge {t} -> {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn directed_vertex_ids_in_range() {
+        let gen = RmatGenerator::new(RmatParams::RMAT_B, 9, 8, 1);
+        let g = gen.directed();
+        assert_eq!(g.num_vertices(), 512);
+        for v in 0..g.num_vertices() {
+            for t in g.neighbors(v) {
+                assert!(t < 512);
+            }
+        }
+    }
+}

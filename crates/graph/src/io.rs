@@ -1,0 +1,284 @@
+//! Edge-list I/O: text (whitespace-separated, `#` comments) and a compact
+//! little-endian binary format.
+//!
+//! The text format matches the common SNAP/WebGraph-dump conventions so real
+//! edge lists can be dropped in when available; the binary format is the
+//! fast path used by the experiment harness to cache generated graphs.
+
+use crate::traits::WeightedEdgeList;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic prefix of the binary edge-list format.
+const BIN_MAGIC: &[u8; 8] = b"AGTEDGE1";
+
+/// Parsed edge-list header: vertex count plus whether weights are present.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeListHeader {
+    /// Number of vertices (ids are `0..num_vertices`).
+    pub num_vertices: u64,
+    /// Number of edges that follow.
+    pub num_edges: u64,
+    /// Whether each record carries an explicit weight.
+    pub weighted: bool,
+}
+
+/// Write a text edge list: one `src dst [weight]` per line.
+pub fn write_text<W: Write>(
+    out: W,
+    num_vertices: u64,
+    edges: &WeightedEdgeList,
+    weighted: bool,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "# asyncgt edge list")?;
+    writeln!(w, "# vertices {num_vertices} edges {} weighted {weighted}", edges.len())?;
+    for &(s, t, wt) in edges {
+        if weighted {
+            writeln!(w, "{s} {t} {wt}")?;
+        } else {
+            writeln!(w, "{s} {t}")?;
+        }
+    }
+    w.flush()
+}
+
+/// Read a text edge list written by [`write_text`] or any `src dst [w]`
+/// file with `#` comment lines. Vertex count is taken from the header
+/// comment when present, otherwise `max id + 1`.
+pub fn read_text<R: Read>(input: R) -> io::Result<(EdgeListHeader, WeightedEdgeList)> {
+    let reader = BufReader::new(input);
+    let mut edges: WeightedEdgeList = Vec::new();
+    let mut header_vertices: Option<u64> = None;
+    let mut max_id: u64 = 0;
+    let mut weighted = false;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            // Recognize our own header comment to recover isolated vertices.
+            let toks: Vec<&str> = rest.split_whitespace().collect();
+            if let Some(pos) = toks.iter().position(|&t| t == "vertices") {
+                if let Some(v) = toks.get(pos + 1).and_then(|s| s.parse().ok()) {
+                    header_vertices = Some(v);
+                }
+            }
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> io::Result<u64> {
+            tok.ok_or_else(|| bad_line(lineno, what, "missing"))?
+                .parse::<u64>()
+                .map_err(|e| bad_line(lineno, what, &e.to_string()))
+        };
+        let s = parse(it.next(), "source")?;
+        let t = parse(it.next(), "target")?;
+        let w = match it.next() {
+            Some(tok) => {
+                weighted = true;
+                tok.parse::<u32>()
+                    .map_err(|e| bad_line(lineno, "weight", &e.to_string()))?
+            }
+            None => 1,
+        };
+        max_id = max_id.max(s).max(t);
+        edges.push((s, t, w));
+    }
+
+    let num_vertices = header_vertices.unwrap_or(if edges.is_empty() { 0 } else { max_id + 1 });
+    Ok((
+        EdgeListHeader {
+            num_vertices,
+            num_edges: edges.len() as u64,
+            weighted,
+        },
+        edges,
+    ))
+}
+
+fn bad_line(lineno: usize, what: &str, err: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: bad {what}: {err}", lineno + 1),
+    )
+}
+
+/// Write the binary edge-list format:
+/// `magic | num_vertices u64 | num_edges u64 | weighted u8 | records`.
+/// Records are `src u64, dst u64[, weight u32]`, little-endian.
+pub fn write_binary<W: Write>(
+    out: W,
+    num_vertices: u64,
+    edges: &WeightedEdgeList,
+    weighted: bool,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    w.write_all(BIN_MAGIC)?;
+    w.write_all(&num_vertices.to_le_bytes())?;
+    w.write_all(&(edges.len() as u64).to_le_bytes())?;
+    w.write_all(&[weighted as u8])?;
+    for &(s, t, wt) in edges {
+        w.write_all(&s.to_le_bytes())?;
+        w.write_all(&t.to_le_bytes())?;
+        if weighted {
+            w.write_all(&wt.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+/// Read the binary edge-list format written by [`write_binary`].
+pub fn read_binary<R: Read>(input: R) -> io::Result<(EdgeListHeader, WeightedEdgeList)> {
+    let mut r = BufReader::new(input);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BIN_MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an asyncgt binary edge list (bad magic)",
+        ));
+    }
+    let mut u64buf = [0u8; 8];
+    r.read_exact(&mut u64buf)?;
+    let num_vertices = u64::from_le_bytes(u64buf);
+    r.read_exact(&mut u64buf)?;
+    let num_edges = u64::from_le_bytes(u64buf);
+    let mut flag = [0u8; 1];
+    r.read_exact(&mut flag)?;
+    let weighted = match flag[0] {
+        0 => false,
+        1 => true,
+        x => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad weighted flag {x}"),
+            ))
+        }
+    };
+
+    let mut edges = Vec::with_capacity(num_edges.min(1 << 24) as usize);
+    let mut wbuf = [0u8; 4];
+    for _ in 0..num_edges {
+        r.read_exact(&mut u64buf)?;
+        let s = u64::from_le_bytes(u64buf);
+        r.read_exact(&mut u64buf)?;
+        let t = u64::from_le_bytes(u64buf);
+        let w = if weighted {
+            r.read_exact(&mut wbuf)?;
+            u32::from_le_bytes(wbuf)
+        } else {
+            1
+        };
+        if s >= num_vertices || t >= num_vertices {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge ({s}, {t}) out of range for {num_vertices} vertices"),
+            ));
+        }
+        edges.push((s, t, w));
+    }
+    Ok((
+        EdgeListHeader {
+            num_vertices,
+            num_edges,
+            weighted,
+        },
+        edges,
+    ))
+}
+
+/// Convenience: write a binary edge list to `path`.
+pub fn save_binary<P: AsRef<Path>>(
+    path: P,
+    num_vertices: u64,
+    edges: &WeightedEdgeList,
+    weighted: bool,
+) -> io::Result<()> {
+    write_binary(File::create(path)?, num_vertices, edges, weighted)
+}
+
+/// Convenience: read a binary edge list from `path`.
+pub fn load_binary<P: AsRef<Path>>(path: P) -> io::Result<(EdgeListHeader, WeightedEdgeList)> {
+    read_binary(File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WeightedEdgeList {
+        vec![(0, 1, 3), (1, 2, 1), (2, 0, 7), (3, 3, 2)]
+    }
+
+    #[test]
+    fn text_round_trip_weighted() {
+        let mut buf = Vec::new();
+        write_text(&mut buf, 5, &sample(), true).unwrap();
+        let (hdr, edges) = read_text(&buf[..]).unwrap();
+        assert_eq!(hdr.num_vertices, 5);
+        assert!(hdr.weighted);
+        assert_eq!(edges, sample());
+    }
+
+    #[test]
+    fn text_round_trip_unweighted() {
+        let unweighted: WeightedEdgeList = vec![(0, 1, 1), (1, 2, 1)];
+        let mut buf = Vec::new();
+        write_text(&mut buf, 3, &unweighted, false).unwrap();
+        let (hdr, edges) = read_text(&buf[..]).unwrap();
+        assert!(!hdr.weighted);
+        assert_eq!(edges, unweighted);
+    }
+
+    #[test]
+    fn text_infers_vertex_count_without_header() {
+        let input = b"0 5\n5 9\n";
+        let (hdr, edges) = read_text(&input[..]).unwrap();
+        assert_eq!(hdr.num_vertices, 10);
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let input = b"0 not_a_number\n";
+        assert!(read_text(&input[..]).is_err());
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, 4, &sample(), true).unwrap();
+        let (hdr, edges) = read_binary(&buf[..]).unwrap();
+        assert_eq!(hdr.num_vertices, 4);
+        assert_eq!(hdr.num_edges, 4);
+        assert!(hdr.weighted);
+        assert_eq!(edges, sample());
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC\x00\x00\x00\x00\x00\x00\x00\x00";
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, 4, &sample(), true).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_vertex() {
+        let edges = vec![(0u64, 9u64, 1u32)];
+        let mut buf = Vec::new();
+        write_binary(&mut buf, 2, &edges, false).unwrap();
+        assert!(read_binary(&buf[..]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! Induced-subgraph extraction.
+//!
+//! Analysts rarely keep whole crawls: after a CC or k-hop query they carve
+//! out the component or neighborhood of interest. [`induced`] builds the
+//! subgraph on a vertex subset with densely renumbered ids, returning the
+//! id mapping both ways.
+
+use crate::csr::CsrGraph;
+use crate::traits::{Graph, VertexIndex, WeightedEdgeList};
+use crate::{GraphBuilder, Vertex, NO_VERTEX};
+
+/// An induced subgraph plus its id mappings.
+#[derive(Clone, Debug)]
+pub struct Subgraph<V: VertexIndex = u32> {
+    /// The extracted graph over ids `0..members.len()`.
+    pub graph: CsrGraph<V>,
+    /// `members[new_id] = old_id` (ascending in old id).
+    pub members: Vec<Vertex>,
+}
+
+impl<V: VertexIndex> Subgraph<V> {
+    /// Old id of a subgraph vertex.
+    pub fn original_id(&self, new_id: Vertex) -> Vertex {
+        self.members[new_id as usize]
+    }
+}
+
+/// Extract the subgraph induced by `vertices` (duplicates ignored): all
+/// edges of `g` with both endpoints in the set, endpoints renumbered to
+/// `0..k` in ascending original-id order.
+pub fn induced<G: Graph, V: VertexIndex>(g: &G, vertices: &[Vertex]) -> Subgraph<V> {
+    let n = g.num_vertices();
+    let mut members: Vec<Vertex> = vertices.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    assert!(
+        members.last().is_none_or(|&v| v < n),
+        "subgraph vertex out of range"
+    );
+
+    // Dense old→new map (NO_VERTEX = not a member).
+    let mut new_id = vec![NO_VERTEX; n as usize];
+    for (idx, &old) in members.iter().enumerate() {
+        new_id[old as usize] = idx as Vertex;
+    }
+
+    let mut edges: WeightedEdgeList = Vec::new();
+    for (idx, &old) in members.iter().enumerate() {
+        g.for_each_neighbor(old, |t, w| {
+            let nt = new_id[t as usize];
+            if nt != NO_VERTEX {
+                edges.push((idx as Vertex, nt, w));
+            }
+        });
+    }
+    let graph = GraphBuilder::from_edges(members.len() as u64, edges, g.is_weighted()).build();
+    Subgraph { graph, members }
+}
+
+/// Extract the subgraph induced by one connected component: all vertices
+/// whose entry in `ccid` equals `component`.
+pub fn component<G: Graph, V: VertexIndex>(
+    g: &G,
+    ccid: &[Vertex],
+    component: Vertex,
+) -> Subgraph<V> {
+    let members: Vec<Vertex> = ccid
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c == component)
+        .map(|(v, _)| v as Vertex)
+        .collect();
+    induced(g, &members)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, grid_graph};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn induced_keeps_internal_edges_only() {
+        // 0-1-2-3 path (undirected); take {0, 1, 3}: only edge 0-1 remains.
+        let g: CsrGraph<u32> = GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .symmetrize()
+            .build();
+        let sub: Subgraph = induced(&g, &[0, 1, 3]);
+        assert_eq!(sub.graph.num_vertices(), 3);
+        assert_eq!(sub.graph.num_edges(), 2); // 0-1 both directions
+        assert_eq!(sub.graph.neighbors(0), vec![1]);
+        assert_eq!(sub.graph.neighbors(2), Vec::<u64>::new()); // old 3
+        assert_eq!(sub.original_id(2), 3);
+    }
+
+    #[test]
+    fn duplicates_are_deduped() {
+        let g = cycle_graph(5);
+        let sub: Subgraph = induced(&g, &[2, 2, 4, 2]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.members, vec![2, 4]);
+    }
+
+    #[test]
+    fn full_set_is_isomorphic() {
+        let g = grid_graph(4, 4);
+        let all: Vec<u64> = (0..16).collect();
+        let sub: Subgraph = induced(&g, &all);
+        assert_eq!(sub.graph.num_edges(), g.num_edges());
+        for v in 0..16 {
+            assert_eq!(sub.graph.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn component_extraction() {
+        // Two triangles {0,1,2} and {3,4,5}.
+        let mut b = GraphBuilder::new(6);
+        for (s, t) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            b = b.add_edge(s, t);
+        }
+        let g: CsrGraph<u32> = b.symmetrize().dedup().build();
+        let ccid = vec![0, 0, 0, 3, 3, 3];
+        let sub: Subgraph = component(&g, &ccid, 3);
+        assert_eq!(sub.members, vec![3, 4, 5]);
+        assert_eq!(sub.graph.num_edges(), 6);
+    }
+
+    #[test]
+    fn weights_carried_over() {
+        let g: CsrGraph<u32> = GraphBuilder::new(3)
+            .add_weighted_edge(0, 2, 9)
+            .add_weighted_edge(0, 1, 4)
+            .build();
+        let sub: Subgraph = induced(&g, &[0, 2]);
+        assert!(sub.graph.is_weighted());
+        let mut seen = Vec::new();
+        sub.graph.for_each_neighbor(0, |t, w| seen.push((t, w)));
+        assert_eq!(seen, vec![(1, 9)]); // old edge 0->2 weight 9
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = cycle_graph(4);
+        let sub: Subgraph = induced(&g, &[]);
+        assert_eq!(sub.graph.num_vertices(), 0);
+        assert_eq!(sub.graph.num_edges(), 0);
+    }
+}

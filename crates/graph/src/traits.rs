@@ -1,0 +1,168 @@
+//! Core graph abstractions shared by in-memory and semi-external storage.
+
+use crate::{Vertex, Weight};
+
+/// Storage width of vertex indices inside a CSR structure.
+///
+/// The paper notes its implementation "can be configured to use 32 or 64-bit
+/// integers", which is what let it fit the 2^29 and 2^30 vertex graphs where
+/// MTGL and SNAP (64-bit only) ran out of memory. We mirror that: a
+/// [`CsrGraph`](crate::CsrGraph) is generic over its index type.
+pub trait VertexIndex: Copy + Send + Sync + Eq + Ord + std::fmt::Debug + 'static {
+    /// Maximum representable vertex id.
+    const MAX: u64;
+    /// Number of bytes used by the on-disk encoding of one index.
+    const BYTES: usize;
+
+    /// Convert from the API-level `u64` id. Panics in debug builds if the
+    /// value does not fit.
+    fn from_u64(v: u64) -> Self;
+    /// Convert to the API-level `u64` id.
+    fn to_u64(self) -> u64;
+    /// Encode into little-endian bytes (exactly `Self::BYTES` long).
+    fn write_le(self, out: &mut Vec<u8>);
+    /// Decode from little-endian bytes (`buf.len() >= Self::BYTES`).
+    fn read_le(buf: &[u8]) -> Self;
+}
+
+impl VertexIndex for u32 {
+    const MAX: u64 = u32::MAX as u64;
+    const BYTES: usize = 4;
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        debug_assert!(
+            v <= <Self as VertexIndex>::MAX,
+            "vertex id {v} does not fit in u32"
+        );
+        v as u32
+    }
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self as u64
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(buf: &[u8]) -> Self {
+        u32::from_le_bytes(buf[..4].try_into().unwrap())
+    }
+}
+
+impl VertexIndex for u64 {
+    const MAX: u64 = u64::MAX;
+    const BYTES: usize = 8;
+
+    #[inline]
+    fn from_u64(v: u64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_u64(self) -> u64 {
+        self
+    }
+    #[inline]
+    fn write_le(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    #[inline]
+    fn read_le(buf: &[u8]) -> Self {
+        u64::from_le_bytes(buf[..8].try_into().unwrap())
+    }
+}
+
+/// Read-only graph interface consumed by every traversal algorithm.
+///
+/// Neighbor enumeration uses a visitor closure rather than returning an
+/// iterator so that a semi-external implementation can read the adjacency
+/// list into a thread-local buffer and hand out parsed edges without
+/// allocating per call. The closure receives `(target, weight)`; unweighted
+/// graphs report a weight of `1` (the paper computes BFS as SSSP with all
+/// edge weights equal to one).
+pub trait Graph: Sync {
+    /// Number of vertices; valid ids are `0..num_vertices()`.
+    fn num_vertices(&self) -> u64;
+
+    /// Number of (directed) edges stored.
+    fn num_edges(&self) -> u64;
+
+    /// Out-degree of `v`.
+    fn out_degree(&self, v: Vertex) -> u64;
+
+    /// Invoke `f(target, weight)` for every outgoing edge of `v`.
+    fn for_each_neighbor<F: FnMut(Vertex, Weight)>(&self, v: Vertex, f: F);
+
+    /// Whether the graph carries explicit edge weights.
+    fn is_weighted(&self) -> bool {
+        false
+    }
+
+    /// Collect the out-neighbors of `v` (convenience; allocates).
+    fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
+        let mut out = Vec::with_capacity(self.out_degree(v) as usize);
+        self.for_each_neighbor(v, |t, _| out.push(t));
+        out
+    }
+}
+
+impl<G: Graph> Graph for &G {
+    fn num_vertices(&self) -> u64 {
+        (**self).num_vertices()
+    }
+    fn num_edges(&self) -> u64 {
+        (**self).num_edges()
+    }
+    fn out_degree(&self, v: Vertex) -> u64 {
+        (**self).out_degree(v)
+    }
+    fn for_each_neighbor<F: FnMut(Vertex, Weight)>(&self, v: Vertex, f: F) {
+        (**self).for_each_neighbor(v, f)
+    }
+    fn is_weighted(&self) -> bool {
+        (**self).is_weighted()
+    }
+}
+
+/// A weighted edge list: `(source, target, weight)` triples.
+///
+/// Generators produce edge lists; [`GraphBuilder`](crate::GraphBuilder) turns
+/// them into CSR. Unweighted lists use weight `1`.
+pub type WeightedEdgeList = Vec<(Vertex, Vertex, Weight)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u32_index_round_trip() {
+        for v in [0u64, 1, 12345, u32::MAX as u64] {
+            let i = <u32 as VertexIndex>::from_u64(v);
+            assert_eq!(i.to_u64(), v);
+            let mut buf = Vec::new();
+            i.write_le(&mut buf);
+            assert_eq!(buf.len(), 4);
+            assert_eq!(<u32 as VertexIndex>::read_le(&buf), i);
+        }
+    }
+
+    #[test]
+    fn u64_index_round_trip() {
+        for v in [0u64, 1, u32::MAX as u64 + 5, u64::MAX] {
+            let i = <u64 as VertexIndex>::from_u64(v);
+            assert_eq!(i.to_u64(), v);
+            let mut buf = Vec::new();
+            i.write_le(&mut buf);
+            assert_eq!(buf.len(), 8);
+            assert_eq!(<u64 as VertexIndex>::read_le(&buf), i);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn u32_index_overflow_panics_in_debug() {
+        let _ = <u32 as VertexIndex>::from_u64(u32::MAX as u64 + 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Edge-weight assignment for SSSP experiments.
+//!
+//! The paper adds weights to its RMAT graphs in two ways:
+//!
+//! * **UW** — "uniform weights range from `[0, num_vertices)`";
+//! * **LUW** — "log-uniform weights range from `[0, 2^i)`, where `i` is
+//!   chosen uniformly from `[0, lg(num_vertices))`".
+//!
+//! Weight assignment is a deterministic function of `(seed, src, dst)` so a
+//! regenerated graph gets identical weights regardless of edge order — this
+//! keeps the in-memory and semi-external experiments byte-comparable.
+
+use crate::traits::WeightedEdgeList;
+use crate::{CsrGraph, GraphBuilder, Vertex, Weight};
+
+/// The paper's two edge-weight distributions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WeightKind {
+    /// Uniform over `[0, num_vertices)`.
+    Uniform,
+    /// `[0, 2^i)` with `i ~ U[0, lg(num_vertices))`.
+    LogUniform,
+}
+
+impl WeightKind {
+    /// Short label used in experiment tables ("UW" / "LUW").
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightKind::Uniform => "UW",
+            WeightKind::LogUniform => "LUW",
+        }
+    }
+}
+
+/// SplitMix64 — small, high-quality mixing function used to derive per-edge
+/// randomness from `(seed, src, dst)` without storing RNG state.
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic weight for edge `(src, dst)` under `kind`.
+///
+/// `num_vertices` must be ≥ 2; results fit in `u32` for every graph scale
+/// the paper evaluates (weights < 2^30 < 2^32).
+#[inline]
+pub fn edge_weight(
+    kind: WeightKind,
+    num_vertices: u64,
+    seed: u64,
+    src: Vertex,
+    dst: Vertex,
+) -> Weight {
+    debug_assert!(num_vertices >= 2);
+    let h = splitmix64(seed ^ splitmix64(src.wrapping_mul(0x51D2_67B7) ^ (dst << 1)));
+    match kind {
+        WeightKind::Uniform => (h % num_vertices) as Weight,
+        WeightKind::LogUniform => {
+            let lg = 64 - (num_vertices - 1).leading_zeros(); // ceil(lg n)
+            let i = (h >> 32) % lg as u64; // i ∈ [0, lg n)
+            let range = 1u64 << i; // 2^i
+            ((h & 0xFFFF_FFFF) % range) as Weight
+        }
+    }
+}
+
+/// Apply a weight distribution to an edge list in place.
+pub fn assign_weights(edges: &mut WeightedEdgeList, kind: WeightKind, num_vertices: u64, seed: u64) {
+    for e in edges.iter_mut() {
+        e.2 = edge_weight(kind, num_vertices, seed, e.0, e.1);
+    }
+}
+
+/// Re-build a graph with weights drawn from `kind` (the topology is
+/// preserved exactly; only the weight array is added/replaced).
+pub fn weighted_copy(g: &CsrGraph<u32>, kind: WeightKind, seed: u64) -> CsrGraph<u32> {
+    use crate::traits::Graph;
+    let n = g.num_vertices();
+    let mut edges: WeightedEdgeList = Vec::with_capacity(g.num_edges() as usize);
+    for v in 0..n {
+        g.for_each_neighbor(v, |t, _| {
+            edges.push((v, t, edge_weight(kind, n, seed, v, t)));
+        });
+    }
+    GraphBuilder::from_edges(n, edges, true).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{RmatGenerator, RmatParams};
+    use crate::Graph;
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let n = 1024;
+        for e in 0..500u64 {
+            let w = edge_weight(WeightKind::Uniform, n, 1, e, e * 3 + 1);
+            assert!((w as u64) < n);
+        }
+    }
+
+    #[test]
+    fn log_uniform_weights_in_range() {
+        let n = 1024; // lg n = 10, max weight < 2^9
+        for e in 0..500u64 {
+            let w = edge_weight(WeightKind::LogUniform, n, 1, e, e + 7);
+            assert!((w as u64) < 512, "LUW weight {w} out of [0, 2^9)");
+        }
+    }
+
+    #[test]
+    fn log_uniform_is_more_skewed_than_uniform() {
+        // Under LUW most weights are tiny (half the draws use i <= lg(n)/2),
+        // so the LUW median should be far below the UW median.
+        let n = 1u64 << 16;
+        let mut uw: Vec<u64> = (0..2000)
+            .map(|e| edge_weight(WeightKind::Uniform, n, 9, e, e + 1) as u64)
+            .collect();
+        let mut luw: Vec<u64> = (0..2000)
+            .map(|e| edge_weight(WeightKind::LogUniform, n, 9, e, e + 1) as u64)
+            .collect();
+        uw.sort_unstable();
+        luw.sort_unstable();
+        assert!(luw[1000] * 8 < uw[1000], "LUW median should be much smaller");
+    }
+
+    #[test]
+    fn deterministic_per_edge() {
+        let a = edge_weight(WeightKind::Uniform, 100, 5, 3, 4);
+        let b = edge_weight(WeightKind::Uniform, 100, 5, 3, 4);
+        assert_eq!(a, b);
+        assert_ne!(
+            edge_weight(WeightKind::Uniform, 100, 5, 3, 4),
+            edge_weight(WeightKind::Uniform, 100, 6, 3, 4),
+            "different seeds should (almost surely) differ"
+        );
+    }
+
+    #[test]
+    fn weighted_copy_preserves_topology() {
+        let g = RmatGenerator::new(RmatParams::RMAT_A, 8, 4, 21).directed();
+        let w = weighted_copy(&g, WeightKind::Uniform, 3);
+        assert!(w.is_weighted());
+        assert_eq!(w.num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() {
+            assert_eq!(g.neighbors(v), w.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn assign_weights_overwrites_all() {
+        let mut edges = vec![(0u64, 1u64, 1u32), (1, 2, 1), (2, 0, 1)];
+        assign_weights(&mut edges, WeightKind::Uniform, 1 << 20, 77);
+        // With n = 2^20 the chance all three uniform weights equal 1 is ~0.
+        assert!(edges.iter().any(|&(_, _, w)| w != 1));
+    }
+}

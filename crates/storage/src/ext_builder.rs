@@ -1,0 +1,317 @@
+//! External-memory SEM CSR construction.
+//!
+//! Builds a SEM CSR file directly from a (binary) edge-list file without
+//! materializing the edge set in RAM — the construction-side counterpart
+//! of the paper's semi-external model: memory holds per-vertex information
+//! (degree counters / write cursors, `O(n)`), while the `O(m)` edge data
+//! only streams through.
+//!
+//! Three passes over storage:
+//!
+//! 1. **count** — stream the edge list, accumulate out-degrees, prefix-sum
+//!    into the CSR offsets array, write header + offsets;
+//! 2. **scatter** — stream the edge list again, writing each record at its
+//!    vertex's cursor position with a positioned write (buffered through a
+//!    bounded staging map so nearby records coalesce);
+//! 3. **sort** — stream the edge region sequentially, sorting each
+//!    adjacency list in place (SemGraph relies on sorted adjacency for the
+//!    analytics that intersect lists, and sorted lists compress the
+//!    semi-sorted access pattern further).
+
+use crate::format::{SemHeader, HEADER_BYTES};
+use asyncgt_graph::io::EdgeListHeader;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufReader, Read, Seek, SeekFrom, Write};
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// Streaming reader over the binary edge-list format of
+/// [`asyncgt_graph::io`] (magic `AGTEDGE1`).
+struct EdgeStream {
+    reader: BufReader<File>,
+    header: EdgeListHeader,
+    remaining: u64,
+}
+
+impl EdgeStream {
+    fn open(path: &Path) -> io::Result<Self> {
+        let mut reader = BufReader::with_capacity(1 << 20, File::open(path)?);
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != b"AGTEDGE1" {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not an asyncgt binary edge list",
+            ));
+        }
+        let mut buf = [0u8; 8];
+        reader.read_exact(&mut buf)?;
+        let num_vertices = u64::from_le_bytes(buf);
+        reader.read_exact(&mut buf)?;
+        let num_edges = u64::from_le_bytes(buf);
+        let mut flag = [0u8; 1];
+        reader.read_exact(&mut flag)?;
+        let weighted = flag[0] == 1;
+        Ok(EdgeStream {
+            reader,
+            header: EdgeListHeader {
+                num_vertices,
+                num_edges,
+                weighted,
+            },
+            remaining: num_edges,
+        })
+    }
+
+    /// Next `(src, dst, weight)` record, or `None` at the end.
+    fn next(&mut self) -> io::Result<Option<(u64, u64, u32)>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let mut buf = [0u8; 8];
+        self.reader.read_exact(&mut buf)?;
+        let s = u64::from_le_bytes(buf);
+        self.reader.read_exact(&mut buf)?;
+        let t = u64::from_le_bytes(buf);
+        let w = if self.header.weighted {
+            let mut wb = [0u8; 4];
+            self.reader.read_exact(&mut wb)?;
+            u32::from_le_bytes(wb)
+        } else {
+            1
+        };
+        if s >= self.header.num_vertices || t >= self.header.num_vertices {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge ({s}, {t}) out of range"),
+            ));
+        }
+        Ok(Some((s, t, w)))
+    }
+}
+
+/// Build a SEM CSR file at `output` from the binary edge list at `input`,
+/// holding only `O(n)` memory (the offsets/cursor arrays) plus a bounded
+/// scatter buffer. Edge targets are stored as `u32` (requires
+/// `n ≤ u32::MAX`, covering every scale the paper evaluates).
+pub fn build_sem_from_edge_list<P: AsRef<Path>, Q: AsRef<Path>>(
+    input: P,
+    output: Q,
+) -> io::Result<SemHeader> {
+    let input = input.as_ref();
+    let output = output.as_ref();
+
+    // ---- pass 1: degree count → offsets -------------------------------
+    let mut stream = EdgeStream::open(input)?;
+    let n = stream.header.num_vertices;
+    let m = stream.header.num_edges;
+    let weighted = stream.header.weighted;
+    if n > u32::MAX as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "external builder stores u32 targets; graph has too many vertices",
+        ));
+    }
+    let mut offsets = vec![0u64; n as usize + 1];
+    while let Some((s, _, _)) = stream.next()? {
+        offsets[s as usize + 1] += 1;
+    }
+    for i in 0..n as usize {
+        offsets[i + 1] += offsets[i];
+    }
+    debug_assert_eq!(offsets[n as usize], m);
+
+    let header = SemHeader {
+        index_width: 4,
+        weighted,
+        num_vertices: n,
+        num_edges: m,
+        offsets_pos: HEADER_BYTES,
+        edges_pos: HEADER_BYTES + (n + 1) * 8,
+    };
+    let rec = header.record_size();
+
+    let out = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .read(true)
+        .truncate(true)
+        .open(output)?;
+    out.set_len(header.expected_file_len())?;
+    {
+        let mut w = io::BufWriter::new(&out);
+        w.write_all(&header.encode())?;
+        for off in &offsets {
+            w.write_all(&off.to_le_bytes())?;
+        }
+        w.flush()?;
+    }
+
+    // ---- pass 2: scatter records to their CSR slots --------------------
+    // Records for one source vertex are contiguous; a small per-call buffer
+    // assembles each record, and consecutive same-source records coalesce
+    // into one positioned write.
+    let mut cursor = offsets.clone();
+    let mut stream = EdgeStream::open(input)?;
+    let mut batch: Vec<u8> = Vec::with_capacity(64 * rec as usize);
+    let mut batch_src = u64::MAX;
+    let flush_batch = |src: u64, batch: &mut Vec<u8>, cursor: &mut [u64]| -> io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        let records = batch.len() as u64 / rec;
+        let pos = header.edges_pos + cursor[src as usize] * rec;
+        out.write_all_at(batch, pos)?;
+        cursor[src as usize] += records;
+        batch.clear();
+        Ok(())
+    };
+    while let Some((s, t, w)) = stream.next()? {
+        if s != batch_src {
+            if batch_src != u64::MAX {
+                flush_batch(batch_src, &mut batch, &mut cursor)?;
+            }
+            batch_src = s;
+        }
+        batch.extend_from_slice(&(t as u32).to_le_bytes());
+        if weighted {
+            batch.extend_from_slice(&w.to_le_bytes());
+        }
+        if batch.len() >= 64 * rec as usize {
+            flush_batch(batch_src, &mut batch, &mut cursor)?;
+        }
+    }
+    if batch_src != u64::MAX {
+        flush_batch(batch_src, &mut batch, &mut cursor)?;
+    }
+
+    // ---- pass 3: sort each adjacency list, streaming sequentially ------
+    let mut file = File::options().read(true).write(true).open(output)?;
+    file.seek(SeekFrom::Start(header.edges_pos))?;
+    let mut adj: Vec<u8> = Vec::new();
+    for v in 0..n as usize {
+        let lo = offsets[v];
+        let hi = offsets[v + 1];
+        let bytes = ((hi - lo) * rec) as usize;
+        if bytes == 0 {
+            continue;
+        }
+        adj.resize(bytes, 0);
+        let pos = header.edges_pos + lo * rec;
+        file.read_exact_at(&mut adj, pos)?;
+        // Sort records by (target, weight); records are little-endian so
+        // lexicographic byte order is NOT numeric order — decode keys.
+        let mut records: Vec<&[u8]> = adj.chunks_exact(rec as usize).collect();
+        records.sort_by_key(|r| {
+            let t = u32::from_le_bytes(r[..4].try_into().unwrap());
+            let w = if weighted {
+                u32::from_le_bytes(r[4..8].try_into().unwrap())
+            } else {
+                0
+            };
+            (t, w)
+        });
+        let sorted: Vec<u8> = records.concat();
+        file.write_all_at(&sorted, pos)?;
+    }
+    file.flush()?;
+    Ok(header)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::SemGraph;
+    use crate::writer::write_sem_graph;
+    use asyncgt_graph::generators::{RmatGenerator, RmatParams};
+    use asyncgt_graph::weights::{assign_weights, WeightKind};
+    use asyncgt_graph::{io as gio, Graph, GraphBuilder};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("asyncgt_extbuilder_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn matches_in_memory_builder_unweighted() {
+        let gen = RmatGenerator::new(RmatParams::RMAT_A, 9, 8, 41);
+        let edges = gen.edges();
+        let elist = tmp("ext_unweighted.edges");
+        gio::save_binary(&elist, gen.num_vertices(), &edges, false).unwrap();
+
+        let built = tmp("ext_unweighted.agt");
+        build_sem_from_edge_list(&elist, &built).unwrap();
+
+        // Reference: in-memory build + writer.
+        let g = GraphBuilder::from_edges(gen.num_vertices(), edges, false).build::<u32>();
+        let reference = tmp("ext_unweighted_ref.agt");
+        write_sem_graph(&reference, &g).unwrap();
+
+        assert_eq!(
+            std::fs::read(&built).unwrap(),
+            std::fs::read(&reference).unwrap(),
+            "external build must be byte-identical to the in-memory build"
+        );
+    }
+
+    #[test]
+    fn matches_in_memory_builder_weighted() {
+        let gen = RmatGenerator::new(RmatParams::RMAT_B, 8, 6, 13);
+        let n = gen.num_vertices();
+        let mut edges = gen.edges();
+        assign_weights(&mut edges, WeightKind::Uniform, n, 3);
+        let elist = tmp("ext_weighted.edges");
+        gio::save_binary(&elist, n, &edges, true).unwrap();
+
+        let built = tmp("ext_weighted.agt");
+        let header = build_sem_from_edge_list(&elist, &built).unwrap();
+        assert!(header.weighted);
+
+        let g = GraphBuilder::from_edges(n, edges, true).build::<u32>();
+        let sem = SemGraph::open(&built).unwrap();
+        for v in 0..n {
+            let mut mem = Vec::new();
+            g.for_each_neighbor(v, |t, w| mem.push((t, w)));
+            let mut dsk = Vec::new();
+            sem.for_each_neighbor(v, |t, w| dsk.push((t, w)));
+            assert_eq!(mem, dsk, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn built_file_traverses_correctly() {
+        use asyncgt_graph::generators::path_graph;
+        let g = path_graph(50);
+        let mut edges = Vec::new();
+        for v in 0..50 {
+            g.for_each_neighbor(v, |t, w| edges.push((v, t, w)));
+        }
+        let elist = tmp("ext_path.edges");
+        gio::save_binary(&elist, 50, &edges, false).unwrap();
+        let built = tmp("ext_path.agt");
+        build_sem_from_edge_list(&elist, &built).unwrap();
+        let sem = SemGraph::open(&built).unwrap();
+        assert_eq!(sem.num_edges(), 49);
+        assert_eq!(sem.neighbors(10), vec![11]);
+    }
+
+    #[test]
+    fn rejects_non_edge_list_input() {
+        let bogus = tmp("bogus.edges");
+        std::fs::write(&bogus, b"not an edge list").unwrap();
+        assert!(build_sem_from_edge_list(&bogus, tmp("bogus.agt")).is_err());
+    }
+
+    #[test]
+    fn empty_edge_list_builds_empty_graph() {
+        let elist = tmp("ext_empty.edges");
+        gio::save_binary(&elist, 5, &Vec::new(), false).unwrap();
+        let built = tmp("ext_empty.agt");
+        build_sem_from_edge_list(&elist, &built).unwrap();
+        let sem = SemGraph::open(&built).unwrap();
+        assert_eq!(sem.num_vertices(), 5);
+        assert_eq!(sem.num_edges(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! On-disk CSR file layout.
+//!
+//! ```text
+//! offset  size            field
+//! ------  --------------  -----------------------------------------
+//!      0  8               magic  "AGTCSR01"
+//!      8  1               index_width (4 or 8 bytes per edge target)
+//!      9  1               weighted (0 or 1; weights are u32 LE)
+//!     10  6               reserved (zero)
+//!     16  8               num_vertices (u64 LE)
+//!     24  8               num_edges    (u64 LE)
+//!     32  8               offsets_pos  (byte position of offsets array)
+//!     40  8               edges_pos    (byte position of edge records)
+//!     48  16              reserved (zero)
+//!     64  (n+1)*8         offsets array (u64 LE, cumulative degrees)
+//!      …  m*record_size   edge records in CSR order:
+//!                           target (index_width bytes LE)
+//!                           [weight u32 LE, iff weighted]
+//! ```
+//!
+//! The offsets array is the "algorithmic information about the vertices"
+//! that the semi-external model keeps in memory (`(n+1) * 8` bytes); the
+//! edge-record region is only ever touched by positioned reads.
+
+use std::io;
+
+/// File magic for the SEM CSR format.
+pub const MAGIC: &[u8; 8] = b"AGTCSR01";
+
+/// Fixed size of the file header in bytes.
+pub const HEADER_BYTES: u64 = 64;
+
+/// Parsed and validated SEM CSR file header.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SemHeader {
+    /// Bytes per stored edge target: 4 (`u32`) or 8 (`u64`).
+    pub index_width: u8,
+    /// Whether each edge record carries a `u32` weight.
+    pub weighted: bool,
+    /// Number of vertices.
+    pub num_vertices: u64,
+    /// Number of edge records.
+    pub num_edges: u64,
+    /// Byte position of the offsets array.
+    pub offsets_pos: u64,
+    /// Byte position of the edge-record region.
+    pub edges_pos: u64,
+}
+
+impl SemHeader {
+    /// Bytes per edge record (`index_width` plus 4 if weighted).
+    #[inline]
+    pub fn record_size(&self) -> u64 {
+        self.index_width as u64 + if self.weighted { 4 } else { 0 }
+    }
+
+    /// Total file size implied by the header.
+    pub fn expected_file_len(&self) -> u64 {
+        self.edges_pos + self.num_edges * self.record_size()
+    }
+
+    /// Serialize to the fixed 64-byte header block.
+    pub fn encode(&self) -> [u8; HEADER_BYTES as usize] {
+        let mut h = [0u8; HEADER_BYTES as usize];
+        h[0..8].copy_from_slice(MAGIC);
+        h[8] = self.index_width;
+        h[9] = self.weighted as u8;
+        h[16..24].copy_from_slice(&self.num_vertices.to_le_bytes());
+        h[24..32].copy_from_slice(&self.num_edges.to_le_bytes());
+        h[32..40].copy_from_slice(&self.offsets_pos.to_le_bytes());
+        h[40..48].copy_from_slice(&self.edges_pos.to_le_bytes());
+        h
+    }
+
+    /// Parse and validate a header block.
+    pub fn decode(h: &[u8]) -> io::Result<SemHeader> {
+        if h.len() < HEADER_BYTES as usize {
+            return Err(bad("header truncated"));
+        }
+        if &h[0..8] != MAGIC {
+            return Err(bad("bad magic: not an asyncgt SEM CSR file"));
+        }
+        let index_width = h[8];
+        if index_width != 4 && index_width != 8 {
+            return Err(bad(&format!("unsupported index width {index_width}")));
+        }
+        let weighted = match h[9] {
+            0 => false,
+            1 => true,
+            x => return Err(bad(&format!("bad weighted flag {x}"))),
+        };
+        let u64_at = |pos: usize| u64::from_le_bytes(h[pos..pos + 8].try_into().unwrap());
+        let hdr = SemHeader {
+            index_width,
+            weighted,
+            num_vertices: u64_at(16),
+            num_edges: u64_at(24),
+            offsets_pos: u64_at(32),
+            edges_pos: u64_at(40),
+        };
+        if hdr.offsets_pos < HEADER_BYTES {
+            return Err(bad("offsets array overlaps header"));
+        }
+        let offsets_bytes = (hdr.num_vertices + 1) * 8;
+        if hdr.edges_pos < hdr.offsets_pos + offsets_bytes {
+            return Err(bad("edge region overlaps offsets array"));
+        }
+        Ok(hdr)
+    }
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SemHeader {
+        SemHeader {
+            index_width: 4,
+            weighted: true,
+            num_vertices: 100,
+            num_edges: 1600,
+            offsets_pos: HEADER_BYTES,
+            edges_pos: HEADER_BYTES + 101 * 8,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let h = sample();
+        let decoded = SemHeader::decode(&h.encode()).unwrap();
+        assert_eq!(decoded, h);
+    }
+
+    #[test]
+    fn record_size() {
+        assert_eq!(sample().record_size(), 8);
+        let mut h = sample();
+        h.weighted = false;
+        assert_eq!(h.record_size(), 4);
+        h.index_width = 8;
+        assert_eq!(h.record_size(), 8);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut enc = sample().encode();
+        enc[0] = b'X';
+        assert!(SemHeader::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_width() {
+        let mut enc = sample().encode();
+        enc[8] = 3;
+        assert!(SemHeader::decode(&enc).is_err());
+    }
+
+    #[test]
+    fn rejects_overlapping_regions() {
+        let mut h = sample();
+        h.edges_pos = h.offsets_pos; // edges collide with offsets
+        assert!(SemHeader::decode(&h.encode()).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        assert!(SemHeader::decode(&[0u8; 10]).is_err());
+    }
+
+    #[test]
+    fn expected_file_len() {
+        let h = sample();
+        assert_eq!(h.expected_file_len(), h.edges_pos + 1600 * 8);
+    }
+}

@@ -1,0 +1,100 @@
+//! Multithreaded random-read IOPS microbenchmark (regenerates paper Fig. 1).
+//!
+//! The paper's Figure 1 plots random reads per second against the number of
+//! submitting threads (1–256) for its three NAND-flash configurations,
+//! showing that "significant improvements in I/O per second (IOPS) is seen
+//! as an increasing number of threads issue read requests". This module
+//! measures the same curve against a [`SimulatedFlash`] device.
+
+use crate::device::{DeviceModel, SimulatedFlash};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measured point of the IOPS curve.
+#[derive(Clone, Copy, Debug)]
+pub struct IopsSample {
+    /// Number of threads concurrently issuing reads.
+    pub threads: usize,
+    /// Measured random reads per second.
+    pub iops: f64,
+}
+
+/// Measure random-read IOPS with `threads` concurrent submitters for
+/// `duration` wall-clock time.
+pub fn measure_iops(device: &Arc<SimulatedFlash>, threads: usize, duration: Duration) -> f64 {
+    let stop = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let device = Arc::clone(device);
+            let stop = &stop;
+            let completed = &completed;
+            s.spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    device.read(|| {});
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+        std::thread::sleep(duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+    completed.load(Ordering::Relaxed) as f64 / elapsed
+}
+
+/// Sweep the thread counts of paper Fig. 1 (powers of two, 1–256) for one
+/// device model, returning one sample per thread count.
+pub fn sweep(model: DeviceModel, per_point: Duration, max_threads: usize) -> Vec<IopsSample> {
+    let mut out = Vec::new();
+    let mut threads = 1;
+    while threads <= max_threads {
+        let device = Arc::new(SimulatedFlash::new(model));
+        out.push(IopsSample {
+            threads,
+            iops: measure_iops(&device, threads, per_point),
+        });
+        threads *= 2;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iops_scales_then_saturates() {
+        let model = DeviceModel {
+            name: "test",
+            channels: 4,
+            service_time: Duration::from_micros(500),
+        };
+        let dur = Duration::from_millis(120);
+        let one = measure_iops(&Arc::new(SimulatedFlash::new(model)), 1, dur);
+        let four = measure_iops(&Arc::new(SimulatedFlash::new(model)), 4, dur);
+        let sixteen = measure_iops(&Arc::new(SimulatedFlash::new(model)), 16, dur);
+        assert!(four > one * 2.0, "4 threads {four:.0} vs 1 thread {one:.0}");
+        // Past the channel count throughput stays near the rated peak.
+        let peak = model.peak_iops();
+        assert!(
+            sixteen < peak * 1.25,
+            "16 threads {sixteen:.0} exceeds rated peak {peak:.0}"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_requested_range() {
+        let model = DeviceModel {
+            name: "test",
+            channels: 2,
+            service_time: Duration::from_micros(200),
+        };
+        let samples = sweep(model, Duration::from_millis(40), 8);
+        let threads: Vec<usize> = samples.iter().map(|s| s.threads).collect();
+        assert_eq!(threads, vec![1, 2, 4, 8]);
+        assert!(samples.iter().all(|s| s.iops > 0.0));
+    }
+}

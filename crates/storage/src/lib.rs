@@ -1,0 +1,36 @@
+//! Semi-external-memory (SEM) substrate for `asyncgt`.
+//!
+//! The paper defines a semi-external graph as "having enough memory to store
+//! algorithmic information about the vertices but not edges. The entire
+//! graph structure is stored on the persistent storage device, and the
+//! visitor queues and the output of the algorithm are stored in main
+//! memory." This crate provides:
+//!
+//! * [`format`] / [`writer`] — an on-disk CSR file format ("custom
+//!   file-based storage implementing a compressed sparse row") and a writer
+//!   that serializes any in-memory [`CsrGraph`](asyncgt_graph::CsrGraph).
+//! * [`SemGraph`] — the reader: the vertex index (offsets) lives in RAM,
+//!   adjacency lists are fetched on demand with positioned reads
+//!   ("explicit POSIX standard I/O access"), one `pread` per visited
+//!   vertex.
+//! * [`device`] — simulated NAND-flash devices. The paper evaluates three
+//!   SSD configurations (FusionIO ≈200k random-read IOPS, Intel X25-M ≈60k,
+//!   Corsair P128 ≈30k) whose defining property is that peak IOPS is only
+//!   reached when **many threads queue requests concurrently** (paper
+//!   Fig. 1). [`SimulatedFlash`] models exactly that: a bounded number of
+//!   internal channels, each serving one request per fixed service time.
+//! * [`iops`] — the multithreaded random-read microbenchmark that
+//!   regenerates Figure 1.
+
+pub mod device;
+pub mod ext_builder;
+pub mod format;
+pub mod iops;
+pub mod reader;
+pub mod writer;
+
+pub use device::{DeviceModel, SimulatedFlash};
+pub use ext_builder::build_sem_from_edge_list;
+pub use format::SemHeader;
+pub use reader::SemGraph;
+pub use writer::write_sem_graph;

@@ -1,0 +1,83 @@
+//! Runtime configuration.
+
+use std::time::Duration;
+
+/// Configuration for a [`VisitorQueue`](crate::VisitorQueue) run.
+#[derive(Clone, Debug)]
+pub struct VqConfig {
+    /// Number of worker threads — and therefore of visitor queues (the
+    /// paper's implementation has "a prioritized queue per thread").
+    ///
+    /// May exceed the core count: the paper finds "using as many as 512
+    /// threads on 16 cores offers substantial benefit" because more queues
+    /// mean less lock contention and, for semi-external graphs, more
+    /// concurrent I/O requests in flight.
+    pub num_threads: usize,
+
+    /// Yield-loop iterations an idle worker spins through before parking on
+    /// its queue's condition variable. Small values suit oversubscription
+    /// (parked threads free the core); larger values cut wake latency when
+    /// threads ≤ cores.
+    pub spin_iters: u32,
+
+    /// Upper bound on a single park. Parking always re-checks the
+    /// termination counter on wake, so this only bounds the latency of the
+    /// rare missed-notify race, not correctness.
+    pub park_timeout: Duration,
+
+    /// Right-shift applied to [`Visitor::priority`] to form the bucketed
+    /// queues' priority classes: `0` keeps exact priorities (Dial queue);
+    /// larger values coarsen ordering delta-stepping-style, which is what
+    /// lets SSSP over wide weight ranges keep O(1) queue operations.
+    ///
+    /// [`Visitor::priority`]: crate::Visitor::priority
+    pub priority_shift: u32,
+
+    /// Sort each priority bucket before draining it. Within a bucket this
+    /// yields exact `(priority, vertex-id)` order — the paper's §IV-C
+    /// *semi-sort* that raises storage access locality for semi-external
+    /// graphs (and costs a sequential `sort_unstable` per bucket).
+    pub sort_buckets: bool,
+}
+
+impl VqConfig {
+    /// `num_threads` workers, default idle policy.
+    pub fn with_threads(num_threads: usize) -> Self {
+        VqConfig {
+            num_threads: num_threads.max(1),
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for VqConfig {
+    /// One worker per available core, 16 spin iterations, 1 ms park bound,
+    /// exact priorities, semi-sorted buckets.
+    fn default() -> Self {
+        VqConfig {
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            spin_iters: 16,
+            park_timeout: Duration::from_millis(1),
+            priority_shift: 0,
+            sort_buckets: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_threads_clamps_zero() {
+        assert_eq!(VqConfig::with_threads(0).num_threads, 1);
+        assert_eq!(VqConfig::with_threads(7).num_threads, 7);
+    }
+
+    #[test]
+    fn default_uses_at_least_one_thread() {
+        assert!(VqConfig::default().num_threads >= 1);
+    }
+}

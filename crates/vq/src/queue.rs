@@ -1,0 +1,653 @@
+//! The asynchronous visitor-queue engine.
+//!
+//! Layout per worker:
+//!
+//! * a **private priority queue** ([`BucketQueue`]: O(1) bucketed
+//!   priorities with optional within-bucket semi-sort) that only its owner
+//!   touches — no lock;
+//! * a shared **inbox** (`Mutex<Vec<V>>`) other workers deliver into;
+//! * an **outbox** staging remote pushes, flushed in batches so the inbox
+//!   lock and the wake-a-parked-owner syscall are amortized over many
+//!   visitors — the mechanism by which the paper's "multiple queues with a
+//!   hash function reduces lock contention".
+//!
+//! Termination uses a single global counter of *incomplete* visitors:
+//! incremented no later than a visitor becomes drainable by another
+//! worker, decremented only after its `visit` returns. Because an
+//! executing visitor still holds its own count while emitting children,
+//! the counter can only reach zero when no visitor is queued anywhere
+//! **and** none is in flight — exactly the paper's "the traversal is
+//! complete when the visitor queue is empty, and all visitors have
+//! completed". Two batching refinements keep the counter off the hot path
+//! without breaking that invariant (the counter may over-count, never
+//! under-count): pushes to a worker's own queue defer their increment to
+//! the end of the visit, and completions accumulate into a per-worker debt
+//! settled at the latest when the worker runs out of local work.
+
+use crate::config::VqConfig;
+use crate::visitor::{VisitHandler, Visitor};
+use crate::bucket::BucketQueue;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Aggregate statistics from one traversal run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RunStats {
+    /// Total visitors executed (≥ vertices visited; label-correcting
+    /// traversals may visit a vertex multiple times, paper §III-B).
+    pub visitors_executed: u64,
+    /// Total visitors pushed (== executed at termination).
+    pub visitors_pushed: u64,
+    /// Pushes that stayed on the pushing worker's own queue (no lock).
+    pub local_pushes: u64,
+    /// Times a worker parked on its inbox condvar (idle periods).
+    pub parks: u64,
+    /// Non-empty inbox drains (each is one batch of delivered mail).
+    pub inbox_batches: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Worker threads used.
+    pub num_threads: usize,
+}
+
+/// Shared per-worker mailbox: remote workers push here; the owner drains.
+struct Inbox<V> {
+    mail: Mutex<Vec<V>>,
+    cv: Condvar,
+    /// Cheap emptiness hint so owners skip locking an empty inbox.
+    has_mail: AtomicBool,
+}
+
+impl<V> Inbox<V> {
+    fn new() -> Self {
+        Inbox {
+            mail: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            has_mail: AtomicBool::new(false),
+        }
+    }
+}
+
+/// State shared by every worker in one run.
+struct Shared<V> {
+    inboxes: Vec<Inbox<V>>,
+    /// Count of visitors pushed but whose `visit` has not yet returned.
+    pending: AtomicU64,
+    /// Set when a handler panicked; workers drain out and exit.
+    poisoned: AtomicBool,
+}
+
+impl<V: Visitor> Shared<V> {
+    /// Queue selection: Fibonacci multiplicative hash of the target vertex.
+    /// Near-uniform, so "high-cost vertices will be uniformly distributed
+    /// across the queues" (paper §III-A).
+    #[inline]
+    fn route(&self, vertex: u64) -> usize {
+        let h = vertex.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.inboxes.len()
+    }
+
+    /// Wake every parked worker (termination or poison).
+    fn wake_all(&self) {
+        for inbox in &self.inboxes {
+            inbox.cv.notify_all();
+        }
+    }
+
+    /// Retire `n` completed visitors; detects global termination.
+    ///
+    /// Completions may be batched (the counter then *over*-counts, which
+    /// only delays detection — it can never terminate early).
+    #[inline]
+    fn complete(&self, n: u64) {
+        if n > 0 && self.pending.fetch_sub(n, Ordering::AcqRel) == n {
+            self.wake_all();
+        }
+    }
+}
+
+/// Per-worker buffers of visitors addressed to other workers' queues.
+///
+/// Remote pushes are staged here and delivered in batches, amortizing the
+/// inbox lock and (more importantly on oversubscribed hosts) the
+/// wake-a-parked-thread syscall over many visitors instead of paying both
+/// per push.
+struct Outbox<V> {
+    buffers: Vec<Vec<V>>,
+    /// Total staged visitors across all buffers.
+    staged: u64,
+}
+
+impl<V: Visitor> Outbox<V> {
+    fn new(num_queues: usize) -> Self {
+        Outbox {
+            buffers: (0..num_queues).map(|_| Vec::new()).collect(),
+            staged: 0,
+        }
+    }
+
+    /// Deliver every staged visitor to its inbox and wake owners whose
+    /// inbox transitioned from empty.
+    fn flush(&mut self, shared: &Shared<V>) {
+        if self.staged == 0 {
+            return;
+        }
+        for (q, buf) in self.buffers.iter_mut().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let inbox = &shared.inboxes[q];
+            let newly_nonempty = {
+                let mut mail = inbox.mail.lock();
+                mail.append(buf);
+                // Under the mail lock the flag exactly mirrors "mail may be
+                // non-empty", so the false→true edge identifies the one
+                // flusher responsible for waking the owner.
+                !inbox.has_mail.swap(true, Ordering::AcqRel)
+            };
+            if newly_nonempty {
+                inbox.cv.notify_one();
+            }
+        }
+        self.staged = 0;
+    }
+}
+
+/// Handle through which a [`VisitHandler`](crate::VisitHandler) emits new
+/// visitors. Pushes addressed to the executing worker's own queue go
+/// straight into its private heap with no synchronization; remote pushes
+/// are staged in the worker's [`Outbox`].
+pub struct PushCtx<'a, V: Visitor> {
+    shared: &'a Shared<V>,
+    worker_id: usize,
+    local_heap: &'a mut BucketQueue<V>,
+    outbox: &'a mut Outbox<V>,
+    pushed: u64,
+    local_pushes: u64,
+}
+
+impl<'a, V: Visitor> PushCtx<'a, V> {
+    /// Enqueue a visitor. Routing is by hash of `v.target()`; the visitor
+    /// will execute on the worker owning that hash bucket, ordered by the
+    /// visitor's `Ord` priority among that queue's contents.
+    #[inline]
+    pub fn push(&mut self, v: V) {
+        self.pushed += 1;
+        let q = self.shared.route(v.target());
+        if q == self.worker_id {
+            // Local fast path: no lock, and the pending increment is
+            // deferred to the end of the visit (the executing visitor's own
+            // pending unit keeps the counter positive until then, and only
+            // this worker can drain its private heap).
+            self.local_pushes += 1;
+            self.local_heap.push(v);
+        } else {
+            // Remote pushes must be globally visible *before* the mail can
+            // be delivered, or the recipient could complete it and drive
+            // the counter to zero while our accounting is still in flight.
+            self.shared.pending.fetch_add(1, Ordering::Relaxed);
+            self.outbox.buffers[q].push(v);
+            self.outbox.staged += 1;
+        }
+    }
+
+    /// Id of the worker executing the current visitor.
+    pub fn worker_id(&self) -> usize {
+        self.worker_id
+    }
+
+    /// Number of workers (== number of queues) in this run.
+    pub fn num_workers(&self) -> usize {
+        self.shared.inboxes.len()
+    }
+}
+
+/// RAII guard: if a handler panics mid-visit, poison the run and wake all
+/// workers so they exit instead of waiting for a termination signal that
+/// can no longer arrive.
+struct PoisonOnPanic<'a, V: Visitor>(&'a Shared<V>);
+
+impl<'a, V: Visitor> Drop for PoisonOnPanic<'a, V> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.poisoned.store(true, Ordering::Release);
+            self.0.wake_all();
+        }
+    }
+}
+
+/// The multithreaded asynchronous visitor queue (paper Algorithms 1 & 3's
+/// `pri_q_visit`).
+pub struct VisitorQueue;
+
+impl VisitorQueue {
+    /// Run a traversal to completion: seed the queues with `init`, spawn
+    /// `cfg.num_threads` workers, and return once every visitor (including
+    /// all transitively emitted ones) has completed.
+    ///
+    /// # Panics
+    /// Re-raises any panic from a handler after all workers have exited.
+    pub fn run<V, H, I>(cfg: &VqConfig, handler: &H, init: I) -> RunStats
+    where
+        V: Visitor,
+        H: VisitHandler<V>,
+        I: IntoIterator<Item = V>,
+    {
+        let num_threads = cfg.num_threads.max(1);
+        let shared = Shared {
+            inboxes: (0..num_threads).map(|_| Inbox::new()).collect(),
+            pending: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        };
+
+        // Seed: distribute initial visitors to their owners' inboxes. The
+        // workers have not started, so the mutexes are uncontended.
+        let mut seeded: u64 = 0;
+        for v in init {
+            let q = shared.route(v.target());
+            shared.inboxes[q].mail.lock().push(v);
+            shared.inboxes[q].has_mail.store(true, Ordering::Release);
+            seeded += 1;
+        }
+        shared.pending.store(seeded, Ordering::Release);
+
+        let start = Instant::now();
+        let mut stats = RunStats {
+            num_threads,
+            visitors_pushed: seeded,
+            ..Default::default()
+        };
+
+        if seeded > 0 {
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(num_threads);
+                for id in 0..num_threads {
+                    let shared = &shared;
+                    handles.push(scope.spawn(move || worker_loop(shared, handler, id, cfg)));
+                }
+                for h in handles {
+                    // A panicked worker has already poisoned the run, so the
+                    // remaining workers drain and exit; join then re-raises.
+                    let w = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                    stats.visitors_executed += w.executed;
+                    stats.visitors_pushed += w.pushed;
+                    stats.local_pushes += w.local_pushes;
+                    stats.parks += w.parks;
+                    stats.inbox_batches += w.inbox_batches;
+                }
+            });
+        }
+
+        stats.elapsed = start.elapsed();
+        stats
+    }
+}
+
+/// Per-worker counters, merged into [`RunStats`] at join.
+#[derive(Default)]
+struct WorkerStats {
+    executed: u64,
+    pushed: u64,
+    local_pushes: u64,
+    parks: u64,
+    inbox_batches: u64,
+}
+
+fn worker_loop<V: Visitor, H: VisitHandler<V>>(
+    shared: &Shared<V>,
+    handler: &H,
+    id: usize,
+    cfg: &VqConfig,
+) -> WorkerStats {
+    let inbox = &shared.inboxes[id];
+    let mut heap: BucketQueue<V> = BucketQueue::new(cfg.priority_shift, cfg.sort_buckets);
+    let mut outbox: Outbox<V> = Outbox::new(shared.inboxes.len());
+    let mut stats = WorkerStats::default();
+    let poison_guard = PoisonOnPanic(shared);
+
+    // Completions not yet subtracted from the global counter. Holding debt
+    // makes `pending` an over-count — safe (termination is only delayed) —
+    // and turns the per-visitor decrement into one amortized subtraction.
+    let mut debt: u64 = 0;
+    const DEBT_FLUSH: u64 = 256;
+    // Staged remote visitors are delivered once this many accumulate (and
+    // always before this worker idles), bounding the delivery latency the
+    // batching introduces.
+    const OUTBOX_FLUSH: u64 = 128;
+
+    'outer: loop {
+        // Merge any mail into the private heap so priorities interleave.
+        if inbox.has_mail.load(Ordering::Acquire) {
+            let mut mail = inbox.mail.lock();
+            inbox.has_mail.store(false, Ordering::Release);
+            if !mail.is_empty() {
+                stats.inbox_batches += 1;
+            }
+            heap.extend(mail.drain(..));
+        }
+
+        if let Some(v) = heap.pop() {
+            if shared.poisoned.load(Ordering::Acquire) {
+                // Another worker panicked: drop remaining work and leave.
+                break 'outer;
+            }
+            let mut ctx = PushCtx {
+                shared,
+                worker_id: id,
+                local_heap: &mut heap,
+                outbox: &mut outbox,
+                pushed: 0,
+                local_pushes: 0,
+            };
+            handler.visit(v, &mut ctx);
+            if ctx.local_pushes > 0 {
+                // Publish deferred-increment local pushes (see PushCtx).
+                shared.pending.fetch_add(ctx.local_pushes, Ordering::Relaxed);
+            }
+            stats.pushed += ctx.pushed;
+            stats.local_pushes += ctx.local_pushes;
+            stats.executed += 1;
+            debt += 1;
+            if debt >= DEBT_FLUSH {
+                shared.complete(debt);
+                debt = 0;
+            }
+            if outbox.staged >= OUTBOX_FLUSH {
+                outbox.flush(shared);
+            }
+            continue;
+        }
+
+        // Out of local work: deliver staged mail (other workers may be
+        // waiting on it), then settle the completion debt so the global
+        // counter is exact before any termination check or park.
+        outbox.flush(shared);
+        shared.complete(debt);
+        debt = 0;
+
+        // Idle: spin briefly, then park on the inbox condvar.
+        for _ in 0..cfg.spin_iters {
+            if inbox.has_mail.load(Ordering::Acquire) {
+                continue 'outer;
+            }
+            if shared.pending.load(Ordering::Acquire) == 0
+                || shared.poisoned.load(Ordering::Acquire)
+            {
+                break 'outer;
+            }
+            std::thread::yield_now();
+        }
+
+        let mut mail = inbox.mail.lock();
+        loop {
+            if !mail.is_empty() {
+                inbox.has_mail.store(false, Ordering::Release);
+                stats.inbox_batches += 1;
+                heap.extend(mail.drain(..));
+                break;
+            }
+            if shared.pending.load(Ordering::Acquire) == 0
+                || shared.poisoned.load(Ordering::Acquire)
+            {
+                break 'outer;
+            }
+            // Timed wait: bounds the missed-notify race (a pusher notifies
+            // between our emptiness check and the wait) without spinning.
+            stats.parks += 1;
+            inbox.cv.wait_for(&mut mail, cfg.park_timeout);
+        }
+    }
+
+    drop(poison_guard);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering as AO};
+
+    /// Visitor that walks a chain 0..n, one hop per visit.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Chain(u64);
+    impl Visitor for Chain {
+        fn target(&self) -> u64 {
+            self.0
+        }
+    }
+
+    struct ChainHandler {
+        n: u64,
+        visits: AtomicU64,
+    }
+    impl VisitHandler<Chain> for ChainHandler {
+        fn visit(&self, v: Chain, ctx: &mut PushCtx<'_, Chain>) {
+            self.visits.fetch_add(1, AO::Relaxed);
+            if v.0 + 1 < self.n {
+                ctx.push(Chain(v.0 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn chain_completes_single_thread() {
+        let h = ChainHandler {
+            n: 1000,
+            visits: AtomicU64::new(0),
+        };
+        let s = VisitorQueue::run(&VqConfig::with_threads(1), &h, [Chain(0)]);
+        assert_eq!(h.visits.load(AO::Relaxed), 1000);
+        assert_eq!(s.visitors_executed, 1000);
+        assert_eq!(s.visitors_pushed, 1000);
+    }
+
+    #[test]
+    fn chain_completes_many_threads() {
+        for threads in [2, 4, 16, 64] {
+            let h = ChainHandler {
+                n: 5000,
+                visits: AtomicU64::new(0),
+            };
+            let s = VisitorQueue::run(&VqConfig::with_threads(threads), &h, [Chain(0)]);
+            assert_eq!(h.visits.load(AO::Relaxed), 5000, "threads={threads}");
+            assert_eq!(s.visitors_executed, 5000);
+        }
+    }
+
+    #[test]
+    fn empty_init_terminates_immediately() {
+        let h = ChainHandler {
+            n: 10,
+            visits: AtomicU64::new(0),
+        };
+        let s = VisitorQueue::run(&VqConfig::with_threads(8), &h, std::iter::empty());
+        assert_eq!(s.visitors_executed, 0);
+        assert_eq!(h.visits.load(AO::Relaxed), 0);
+    }
+
+    /// Fan-out visitor: each visit at depth d pushes two children until a
+    /// depth limit — stresses termination with exponential work.
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Fan {
+        depth: u64,
+        id: u64,
+    }
+    impl Visitor for Fan {
+        fn target(&self) -> u64 {
+            self.id
+        }
+    }
+    struct FanHandler {
+        max_depth: u64,
+        visits: AtomicU64,
+    }
+    impl VisitHandler<Fan> for FanHandler {
+        fn visit(&self, v: Fan, ctx: &mut PushCtx<'_, Fan>) {
+            self.visits.fetch_add(1, AO::Relaxed);
+            if v.depth < self.max_depth {
+                ctx.push(Fan {
+                    depth: v.depth + 1,
+                    id: v.id * 2 + 1,
+                });
+                ctx.push(Fan {
+                    depth: v.depth + 1,
+                    id: v.id * 2 + 2,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn fan_out_visits_full_binary_tree() {
+        let h = FanHandler {
+            max_depth: 12,
+            visits: AtomicU64::new(0),
+        };
+        let s = VisitorQueue::run(&VqConfig::with_threads(8), &h, [Fan { depth: 0, id: 0 }]);
+        let expect = (1u64 << 13) - 1; // 2^(d+1) - 1 nodes
+        assert_eq!(h.visits.load(AO::Relaxed), expect);
+        assert_eq!(s.visitors_executed, expect);
+        assert_eq!(s.visitors_pushed, expect);
+    }
+
+    /// All visitors for one vertex must execute on one thread (exclusivity).
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct Probe {
+        vertex: u64,
+        round: u64,
+    }
+    impl Visitor for Probe {
+        fn target(&self) -> u64 {
+            self.vertex
+        }
+    }
+    struct ExclusivityHandler {
+        // Non-atomic counters, one per vertex: safe only if routing really
+        // serializes same-vertex visitors on one thread. Any data race here
+        // would corrupt counts (and trip TSan/Miri).
+        counts: Vec<crossbeam_like::CachePaddedCell>,
+        rounds: u64,
+    }
+    mod crossbeam_like {
+        use std::cell::UnsafeCell;
+        /// A plain u64 cell mutated without synchronization; sound only
+        /// under the engine's same-vertex-same-thread guarantee.
+        pub struct CachePaddedCell(UnsafeCell<u64>);
+        unsafe impl Sync for CachePaddedCell {}
+        impl CachePaddedCell {
+            pub fn new() -> Self {
+                CachePaddedCell(UnsafeCell::new(0))
+            }
+            /// # Safety
+            /// Caller must guarantee exclusive access (vertex ownership).
+            pub unsafe fn bump(&self) -> u64 {
+                let p = self.0.get();
+                *p += 1;
+                *p
+            }
+            pub fn get(&self) -> u64 {
+                unsafe { *self.0.get() }
+            }
+        }
+    }
+    impl VisitHandler<Probe> for ExclusivityHandler {
+        fn visit(&self, v: Probe, ctx: &mut PushCtx<'_, Probe>) {
+            // SAFETY: the engine routes all visitors for `v.vertex` to one
+            // worker, so this cell is never accessed concurrently.
+            let seen = unsafe { self.counts[v.vertex as usize].bump() };
+            if seen < self.rounds {
+                ctx.push(Probe {
+                    vertex: v.vertex,
+                    round: seen,
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn same_vertex_visitors_are_serialized() {
+        let n = 64;
+        let rounds = 200;
+        let h = ExclusivityHandler {
+            counts: (0..n).map(|_| crossbeam_like::CachePaddedCell::new()).collect(),
+            rounds,
+        };
+        let init: Vec<Probe> = (0..n as u64).map(|v| Probe { vertex: v, round: 0 }).collect();
+        VisitorQueue::run(&VqConfig::with_threads(16), &h, init);
+        for c in &h.counts {
+            assert_eq!(c.get(), rounds, "unsynchronized counter corrupted");
+        }
+    }
+
+    #[test]
+    fn priority_order_respected_single_thread() {
+        // With one thread and all work pre-seeded, pops must follow Ord.
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct P(u64);
+        impl Visitor for P {
+            fn target(&self) -> u64 {
+                self.0
+            }
+        }
+        struct Rec(parking_lot::Mutex<Vec<u64>>);
+        impl VisitHandler<P> for Rec {
+            fn visit(&self, v: P, _ctx: &mut PushCtx<'_, P>) {
+                self.0.lock().push(v.0);
+            }
+        }
+        let h = Rec(parking_lot::Mutex::new(Vec::new()));
+        VisitorQueue::run(
+            &VqConfig::with_threads(1),
+            &h,
+            [P(5), P(1), P(9), P(3), P(7)],
+        );
+        assert_eq!(*h.0.lock(), vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn handler_panic_propagates_without_hanging() {
+        struct Bomb;
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct B(u64);
+        impl Visitor for B {
+            fn target(&self) -> u64 {
+                self.0
+            }
+        }
+        impl VisitHandler<B> for Bomb {
+            fn visit(&self, v: B, ctx: &mut PushCtx<'_, B>) {
+                if v.0 == 42 {
+                    panic!("boom");
+                }
+                ctx.push(B(v.0 + 1));
+            }
+        }
+        let result = std::panic::catch_unwind(|| {
+            VisitorQueue::run(&VqConfig::with_threads(4), &Bomb, [B(0)])
+        });
+        assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    #[test]
+    fn oversubscription_far_beyond_cores() {
+        let h = ChainHandler {
+            n: 2000,
+            visits: AtomicU64::new(0),
+        };
+        let s = VisitorQueue::run(&VqConfig::with_threads(128), &h, [Chain(0)]);
+        assert_eq!(h.visits.load(AO::Relaxed), 2000);
+        assert_eq!(s.num_threads, 128);
+    }
+
+    #[test]
+    fn local_push_fast_path_used_with_one_thread() {
+        let h = ChainHandler {
+            n: 100,
+            visits: AtomicU64::new(0),
+        };
+        let s = VisitorQueue::run(&VqConfig::with_threads(1), &h, [Chain(0)]);
+        // Every non-seed push targets the only queue: all local.
+        assert_eq!(s.local_pushes, 99);
+    }
+}

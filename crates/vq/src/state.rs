@@ -1,0 +1,117 @@
+//! Shared vertex-state arrays (the paper's `dist_array`, `parent_array`,
+//! `ccid_array`).
+//!
+//! The hash-routing guarantee means element `i` is only ever written by the
+//! worker owning vertex `i`, so plain relaxed atomic loads/stores suffice —
+//! no compare-and-swap loops and no per-vertex locks. Cross-thread
+//! visibility of the *final* values is established by the run's termination
+//! synchronization (the workers' release-decrements of the pending counter
+//! and the thread joins), not by these accesses.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fixed-size array of `u64` vertex state, safely shared across workers.
+pub struct AtomicStateArray {
+    data: Box<[AtomicU64]>,
+}
+
+impl AtomicStateArray {
+    /// Create an array of `len` entries, all initialized to `init`
+    /// (traversals use `u64::MAX` as the paper's `∞`).
+    pub fn new(len: usize, init: u64) -> Self {
+        let mut v = Vec::with_capacity(len);
+        v.resize_with(len, || AtomicU64::new(init));
+        AtomicStateArray {
+            data: v.into_boxed_slice(),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the array is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Relaxed load of entry `i`.
+    #[inline]
+    pub fn get(&self, i: u64) -> u64 {
+        self.data[i as usize].load(Ordering::Relaxed)
+    }
+
+    /// Relaxed store to entry `i`. Callers must hold the vertex-ownership
+    /// guarantee (be the worker that owns vertex `i`) for the value to be
+    /// meaningful; racing writers would not be UB, just lost updates.
+    #[inline]
+    pub fn set(&self, i: u64, value: u64) {
+        self.data[i as usize].store(value, Ordering::Relaxed);
+    }
+
+    /// Atomically lower entry `i` to `value` if `value` is smaller;
+    /// returns whether the entry was updated. Used by algorithms that relax
+    /// without vertex ownership (e.g. the synchronous baselines).
+    #[inline]
+    pub fn fetch_min(&self, i: u64, value: u64) -> bool {
+        self.data[i as usize].fetch_min(value, Ordering::Relaxed) > value
+    }
+
+    /// Copy the contents into a plain vector (after a run completes).
+    pub fn to_vec(&self) -> Vec<u64> {
+        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+}
+
+impl std::fmt::Debug for AtomicStateArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicStateArray")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_and_rw() {
+        let a = AtomicStateArray::new(4, u64::MAX);
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert_eq!(a.get(2), u64::MAX);
+        a.set(2, 7);
+        assert_eq!(a.get(2), 7);
+        assert_eq!(a.to_vec(), vec![u64::MAX, u64::MAX, 7, u64::MAX]);
+    }
+
+    #[test]
+    fn fetch_min_only_lowers() {
+        let a = AtomicStateArray::new(1, 10);
+        assert!(a.fetch_min(0, 5));
+        assert_eq!(a.get(0), 5);
+        assert!(!a.fetch_min(0, 9));
+        assert_eq!(a.get(0), 5);
+        assert!(!a.fetch_min(0, 5));
+    }
+
+    #[test]
+    fn concurrent_fetch_min_converges() {
+        let a = AtomicStateArray::new(1, u64::MAX);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let a = &a;
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        a.fetch_min(0, t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(a.get(0), 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Entity-neighborhood analysis — the paper's security-analyst scenario
+//! ("analysts who wish to search such graphs"): given an entity of
+//! interest in a large relationship graph, pull its k-hop neighborhood,
+//! measure how connected and clustered it is, and find the brokers that
+//! bridge it, all without traversing the full graph.
+//!
+//! ```sh
+//! cargo run -p asyncgt-examples --release --example entity_search -- --entities 100000 --hops 2
+//! ```
+
+use asyncgt::graph::centrality::betweenness_sampled;
+use asyncgt::graph::generators::{webgraph_like, WebGraphParams};
+use asyncgt::graph::scc::strongly_connected_components;
+use asyncgt::graph::subgraph::{induced, Subgraph};
+use asyncgt::graph::triangles::{count_triangles_parallel, global_clustering_coefficient};
+use asyncgt::graph::Graph;
+use asyncgt::{bfs_bounded, khop_ball, Config, INF_DIST};
+use asyncgt_examples::arg;
+
+fn main() {
+    let entities: u64 = arg("--entities", 100_000);
+    let hops: u64 = arg("--hops", 2);
+    let threads: usize = arg("--threads", 16);
+    let cfg = Config::with_threads(threads);
+
+    println!("building relationship graph with {entities} entities …");
+    let g = webgraph_like(&WebGraphParams::uk_union_like(entities, 7));
+    println!("  {} entities, {} relationships", g.num_vertices(), g.num_edges());
+
+    // Entity of interest: the best-connected one (a "hub" suspect).
+    let poi = (0..g.num_vertices())
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap();
+    println!("\nentity of interest: {poi} (degree {})", g.out_degree(poi));
+
+    // 1. Bounded search: only the neighborhood is touched.
+    let ball = khop_ball(&g, poi, hops, &cfg);
+    let probe = bfs_bounded(&g, poi, hops, &cfg);
+    println!(
+        "{hops}-hop neighborhood: {} entities ({:.2}% of the graph), {} visitors executed",
+        ball.len(),
+        100.0 * ball.len() as f64 / entities as f64,
+        probe.stats.visitors_executed,
+    );
+    let per_hop: Vec<usize> = (0..=hops)
+        .map(|d| probe.dist.iter().filter(|&&x| x == d && x != INF_DIST).count())
+        .collect();
+    println!("  entities per hop: {per_hop:?}");
+
+    // 2. Extract the ego network and characterize it.
+    let ego: Subgraph = induced(&g, &ball);
+    let triangles = count_triangles_parallel(&ego.graph, threads);
+    let clustering = global_clustering_coefficient(&ego.graph);
+    println!(
+        "\nego network: {} vertices, {} arcs, {} triangles, clustering {:.4}",
+        ego.graph.num_vertices(),
+        ego.graph.num_edges(),
+        triangles,
+        clustering
+    );
+
+    let scc = strongly_connected_components(&ego.graph);
+    println!(
+        "  strong connectivity: {} SCCs, largest {}",
+        scc.num_components,
+        scc.largest()
+    );
+
+    // 3. Brokers: sampled betweenness inside the ego network.
+    let sample: Vec<u64> = (0..ego.graph.num_vertices()).step_by(4).collect();
+    let centrality = betweenness_sampled(&ego.graph, &sample, threads);
+    let mut ranked: Vec<usize> = (0..centrality.len()).collect();
+    ranked.sort_by(|&a, &b| centrality[b].partial_cmp(&centrality[a]).unwrap());
+    println!("\ntop brokers in the neighborhood (sampled betweenness):");
+    for &v in ranked.iter().take(5) {
+        println!(
+            "  entity {:>8}  betweenness {:>12.1}  degree {}",
+            ego.original_id(v as u64),
+            centrality[v],
+            ego.graph.out_degree(v as u64)
+        );
+    }
+}

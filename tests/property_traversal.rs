@@ -1,0 +1,148 @@
+//! Property-based tests (proptest): on arbitrary random graphs the
+//! asynchronous traversals must match the serial references and satisfy
+//! their structural invariants, for arbitrary thread counts and sources.
+
+use asyncgt::validate::{check_components, check_shortest_paths};
+use asyncgt::{bfs, connected_components, sssp, Config};
+use asyncgt_baselines::{serial, union_find};
+use asyncgt_graph::traits::WeightedEdgeList;
+use asyncgt_graph::{CsrGraph, Graph, GraphBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a directed weighted graph with 2–120 vertices and 0–500 edges.
+fn arb_graph() -> impl Strategy<Value = CsrGraph<u32>> {
+    (2u64..120, proptest::collection::vec((0u64..120, 0u64..120, 0u32..64), 0..500)).prop_map(
+        |(n, raw)| {
+            let edges: WeightedEdgeList = raw
+                .into_iter()
+                .map(|(s, t, w)| (s % n, t % n, w))
+                .collect();
+            GraphBuilder::from_edges(n, edges, true).dedup().build()
+        },
+    )
+}
+
+/// Strategy: an undirected graph (symmetrized), 2–120 vertices.
+fn arb_undirected() -> impl Strategy<Value = CsrGraph<u32>> {
+    (2u64..120, proptest::collection::vec((0u64..120, 0u64..120), 0..300)).prop_map(|(n, raw)| {
+        let edges: WeightedEdgeList =
+            raw.into_iter().map(|(s, t)| (s % n, t % n, 1)).collect();
+        GraphBuilder::from_edges(n, edges, false)
+            .remove_self_loops()
+            .symmetrize()
+            .dedup()
+            .build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn async_sssp_equals_dijkstra(g in arb_graph(), threads in 1usize..12, src in 0u64..120) {
+        let src = src % g.num_vertices();
+        let expect = serial::dijkstra(&g, src);
+        let out = sssp(&g, src, &Config::with_threads(threads));
+        prop_assert_eq!(&out.dist, &expect.dist);
+        prop_assert!(check_shortest_paths(&g, src, &out, false).is_ok());
+    }
+
+    #[test]
+    fn async_bfs_equals_serial(g in arb_graph(), threads in 1usize..12, src in 0u64..120) {
+        let src = src % g.num_vertices();
+        let expect = serial::bfs(&g, src);
+        let out = bfs(&g, src, &Config::with_threads(threads));
+        prop_assert_eq!(&out.dist, &expect.dist);
+        prop_assert!(check_shortest_paths(&g, src, &out, true).is_ok());
+    }
+
+    #[test]
+    fn async_cc_equals_union_find(g in arb_undirected(), threads in 1usize..12) {
+        let expect = union_find::connected_components(&g);
+        let out = connected_components(&g, &Config::with_threads(threads));
+        prop_assert_eq!(&out.ccid, &expect);
+        prop_assert!(check_components(&g, &out.ccid).is_ok());
+    }
+
+    #[test]
+    fn pruning_never_changes_results(g in arb_graph(), src in 0u64..120) {
+        let src = src % g.num_vertices();
+        let base = sssp(&g, src, &Config::with_threads(4));
+        let pruned = sssp(&g, src, &Config::with_threads(4).with_pruning());
+        prop_assert_eq!(&base.dist, &pruned.dist);
+        prop_assert!(pruned.stats.visitors_pushed <= base.stats.visitors_pushed);
+    }
+
+    #[test]
+    fn bfs_distance_is_hop_count_of_returned_path(g in arb_graph(), src in 0u64..120) {
+        let src = src % g.num_vertices();
+        let out = bfs(&g, src, &Config::with_threads(4));
+        for v in 0..g.num_vertices() {
+            if let Some(path) = out.path_to(v) {
+                prop_assert_eq!(path.len() as u64 - 1, out.dist[v as usize]);
+                prop_assert_eq!(*path.first().unwrap(), src);
+                prop_assert_eq!(*path.last().unwrap(), v);
+                // Every hop must be a real edge.
+                for pair in path.windows(2) {
+                    prop_assert!(g.neighbors(pair[0]).contains(&pair[1]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sem_round_trip_preserves_graph(g in arb_graph()) {
+        use asyncgt::storage::{write_sem_graph, SemGraph};
+        let path = std::env::temp_dir()
+            .join(format!("asyncgt_prop_{}_{:x}.agt", std::process::id(),
+                          g.num_vertices() * 31 + g.num_edges()));
+        write_sem_graph(&path, &g).unwrap();
+        let sem = SemGraph::open(&path).unwrap();
+        prop_assert_eq!(sem.num_vertices(), g.num_vertices());
+        prop_assert_eq!(sem.num_edges(), g.num_edges());
+        for v in 0..g.num_vertices() {
+            let mut mem = Vec::new();
+            g.for_each_neighbor(v, |t, w| mem.push((t, w)));
+            let mut dsk = Vec::new();
+            sem.for_each_neighbor(v, |t, w| dsk.push((t, w)));
+            prop_assert_eq!(&mem, &dsk);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn multi_source_bfs_is_min_of_singles(
+        g in arb_graph(),
+        raw_sources in proptest::collection::vec(0u64..120, 1..4),
+    ) {
+        let n = g.num_vertices();
+        let mut sources: Vec<u64> = raw_sources.into_iter().map(|s| s % n).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        let multi = asyncgt::bfs_multi_source(&g, &sources, &Config::with_threads(4));
+        for v in 0..n as usize {
+            let want = sources
+                .iter()
+                .map(|&s| serial::bfs(&g, s).dist[v])
+                .min()
+                .unwrap();
+            prop_assert_eq!(multi.dist[v], want);
+        }
+    }
+
+    #[test]
+    fn cc_labels_partition_the_graph(g in arb_undirected()) {
+        let out = connected_components(&g, &Config::with_threads(6));
+        // Labels are attained minima: ccid[label] == label and label <= v.
+        for v in 0..g.num_vertices() {
+            let c = out.ccid[v as usize];
+            prop_assert!(c <= v);
+            prop_assert_eq!(out.ccid[c as usize], c);
+        }
+        // Component count equals the number of distinct labels.
+        let mut labels = out.ccid.clone();
+        labels.sort_unstable();
+        labels.dedup();
+        prop_assert_eq!(labels.len() as u64, out.component_count());
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use asyncgt_graph::traits::WeightedEdgeList;
+use asyncgt_graph::{CsrGraph, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a random directed weighted graph: `n` vertices, ~`m` edges,
+/// weights in `[0, max_w]`. Deterministic per seed.
+pub fn random_graph(n: u64, m: usize, max_w: u32, seed: u64) -> CsrGraph<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: WeightedEdgeList = Vec::with_capacity(m);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        let w = rng.gen_range(0..=max_w);
+        edges.push((s, t, w));
+    }
+    GraphBuilder::from_edges(n, edges, true).dedup().build()
+}
+
+/// Random undirected graph (symmetrized), unweighted.
+pub fn random_undirected(n: u64, m: usize, seed: u64) -> CsrGraph<u32> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut edges: WeightedEdgeList = Vec::with_capacity(m);
+    for _ in 0..m {
+        let s = rng.gen_range(0..n);
+        let t = rng.gen_range(0..n);
+        edges.push((s, t, 1));
+    }
+    GraphBuilder::from_edges(n, edges, false)
+        .remove_self_loops()
+        .symmetrize()
+        .dedup()
+        .build()
+}
+
+/// Fresh temp path under a per-process scratch directory.
+pub fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("asyncgt_it_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir.join(name)
+}
