@@ -27,23 +27,22 @@ pub fn sssp<G: Graph>(g: &G, source: Vertex, delta: u64) -> ShortestPaths {
     dist[source as usize] = 0;
     buckets[0].push(source);
 
-    let relax =
-        |dist: &mut Vec<u64>,
-         parent: &mut Vec<Vertex>,
-         buckets: &mut Vec<Vec<Vertex>>,
-         v: Vertex,
-         nd: u64,
-         via: Vertex| {
-            if nd < dist[v as usize] {
-                dist[v as usize] = nd;
-                parent[v as usize] = via;
-                let b = bucket_of(nd);
-                if b >= buckets.len() {
-                    buckets.resize_with(b + 1, Vec::new);
-                }
-                buckets[b].push(v);
+    let relax = |dist: &mut Vec<u64>,
+                 parent: &mut Vec<Vertex>,
+                 buckets: &mut Vec<Vec<Vertex>>,
+                 v: Vertex,
+                 nd: u64,
+                 via: Vertex| {
+        if nd < dist[v as usize] {
+            dist[v as usize] = nd;
+            parent[v as usize] = via;
+            let b = bucket_of(nd);
+            if b >= buckets.len() {
+                buckets.resize_with(b + 1, Vec::new);
             }
-        };
+            buckets[b].push(v);
+        }
+    };
 
     let mut i = 0;
     while i < buckets.len() {

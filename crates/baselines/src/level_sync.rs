@@ -126,7 +126,9 @@ pub fn connected_components<G: Graph>(g: &G, num_threads: usize) -> Vec<Vertex> 
 mod tests {
     use super::*;
     use crate::serial;
-    use asyncgt_graph::generators::{binary_tree, cycle_graph, grid_graph, RmatGenerator, RmatParams};
+    use asyncgt_graph::generators::{
+        binary_tree, cycle_graph, grid_graph, RmatGenerator, RmatParams,
+    };
 
     #[test]
     fn bfs_matches_serial_on_tree() {

@@ -29,11 +29,7 @@ pub fn pagerank<G: Graph>(g: &G, damping: f64, max_iters: u32, epsilon: f64) -> 
                 next[t as usize] += share;
             });
         }
-        let delta: f64 = rank
-            .iter()
-            .zip(&next)
-            .map(|(a, b)| (a - b).abs())
-            .sum();
+        let delta: f64 = rank.iter().zip(&next).map(|(a, b)| (a - b).abs()).sum();
         std::mem::swap(&mut rank, &mut next);
         if delta < epsilon {
             break;

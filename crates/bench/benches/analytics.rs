@@ -40,7 +40,9 @@ fn bench_triangles(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.sample_size(10);
     group.bench_function("serial", |b| b.iter(|| count_triangles(&g)));
-    group.bench_function("parallel_4t", |b| b.iter(|| count_triangles_parallel(&g, 4)));
+    group.bench_function("parallel_4t", |b| {
+        b.iter(|| count_triangles_parallel(&g, 4))
+    });
     group.finish();
 }
 
@@ -59,5 +61,10 @@ fn bench_diameter_and_relabel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pagerank, bench_triangles, bench_diameter_and_relabel);
+criterion_group!(
+    benches,
+    bench_pagerank,
+    bench_triangles,
+    bench_diameter_and_relabel
+);
 criterion_main!(benches);

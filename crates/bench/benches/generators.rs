@@ -31,9 +31,7 @@ fn bench_csr_build(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     group.sample_size(10);
     group.bench_function("build_131k_edges", |b| {
-        b.iter(|| {
-            GraphBuilder::from_edges(1 << 13, edges.clone(), false).build::<u32>()
-        })
+        b.iter(|| GraphBuilder::from_edges(1 << 13, edges.clone(), false).build::<u32>())
     });
     group.bench_function("symmetrize_dedup", |b| {
         b.iter(|| {
@@ -75,6 +73,7 @@ fn bench_sem_io(c: &mut Criterion) {
                 block_size: 4096,
                 cache_blocks: 0,
                 device: None,
+                metrics: None,
             },
         )
         .unwrap();

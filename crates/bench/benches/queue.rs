@@ -86,6 +86,49 @@ fn bench_fanout(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_recorder_overhead(c: &mut Criterion) {
+    // Same fan-out workload through the three instrumentation levels:
+    // plain `run` (baseline), `run_recorded` with the NoopRecorder (must
+    // compile to the baseline — this pair is the ≤2% acceptance gate),
+    // and a live ShardedRecorder (the price of actually measuring).
+    use asyncgt::obs::{NoopRecorder, ShardedRecorder};
+    let mut group = c.benchmark_group("vq_recorder_64k");
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    let threads = 4usize;
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            VisitorQueue::run(
+                &VqConfig::with_threads(threads),
+                &FanHandler(15),
+                [Fan { depth: 0, id: 0 }],
+            )
+        })
+    });
+    group.bench_function("noop_recorder", |b| {
+        b.iter(|| {
+            VisitorQueue::run_recorded(
+                &VqConfig::with_threads(threads),
+                &FanHandler(15),
+                [Fan { depth: 0, id: 0 }],
+                &NoopRecorder,
+            )
+        })
+    });
+    group.bench_function("sharded_recorder", |b| {
+        let rec = ShardedRecorder::new(threads);
+        b.iter(|| {
+            VisitorQueue::run_recorded(
+                &VqConfig::with_threads(threads),
+                &FanHandler(15),
+                [Fan { depth: 0, id: 0 }],
+                &rec,
+            )
+        })
+    });
+    group.finish();
+}
+
 fn bench_spawn_overhead(c: &mut Criterion) {
     // Empty run: measures pure scope spawn/join + termination detection.
     let mut group = c.benchmark_group("vq_startup");
@@ -94,12 +137,22 @@ fn bench_spawn_overhead(c: &mut Criterion) {
     for threads in [1usize, 16, 128] {
         group.bench_function(format!("{threads}t_single_visitor"), |b| {
             b.iter(|| {
-                VisitorQueue::run(&VqConfig::with_threads(threads), &ChainHandler(1), [Chain(0)])
+                VisitorQueue::run(
+                    &VqConfig::with_threads(threads),
+                    &ChainHandler(1),
+                    [Chain(0)],
+                )
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_chain, bench_fanout, bench_spawn_overhead);
+criterion_group!(
+    benches,
+    bench_chain,
+    bench_fanout,
+    bench_recorder_overhead,
+    bench_spawn_overhead
+);
 criterion_main!(benches);

@@ -58,7 +58,9 @@ fn bench_cc(c: &mut Criterion) {
     let mut group = c.benchmark_group("cc");
     group.measurement_time(Duration::from_secs(3));
     group.sample_size(20);
-    group.bench_function("serial_bgl", |b| b.iter(|| serial::connected_components(&g)));
+    group.bench_function("serial_bgl", |b| {
+        b.iter(|| serial::connected_components(&g))
+    });
     group.bench_function("union_find", |b| {
         b.iter(|| union_find::connected_components(&g))
     });

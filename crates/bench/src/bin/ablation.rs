@@ -21,8 +21,8 @@ use asyncgt_bench::table::{ratio, secs, Table};
 use asyncgt_bench::workloads::{as_sem, rmat_directed, rmat_undirected, rmat_weighted};
 use asyncgt_bench::{banner, time};
 use asyncgt_graph::generators::path_graph;
-use asyncgt_graph::weights::WeightKind;
 use asyncgt_graph::generators::RmatParams;
+use asyncgt_graph::weights::WeightKind;
 use asyncgt_storage::reader::SemConfig;
 
 fn chain() {
@@ -152,7 +152,12 @@ fn semisort() {
     banner("Ablation: §IV-C semi-sorted SEM access locality (block-cache effectiveness)");
     let scale = 14;
     let g = rmat_directed(RmatParams::RMAT_A, scale);
-    let mut t = Table::new(vec!["cache blocks", "hit rate", "blocks fetched", "time(s)"]);
+    let mut t = Table::new(vec![
+        "cache blocks",
+        "hit rate",
+        "blocks fetched",
+        "time(s)",
+    ]);
     for cache_blocks in [0usize, 8, 64, 512, 4096] {
         let sem = as_sem(
             &g,
@@ -161,6 +166,7 @@ fn semisort() {
                 block_size: 16 * 1024,
                 cache_blocks,
                 device: None,
+                metrics: None,
             },
         );
         let (out, dt) = time(|| bfs(&sem, 0, &Config::with_threads(64)));
@@ -204,6 +210,7 @@ fn relabel() {
                 block_size: 16 * 1024,
                 cache_blocks: 16, // tiny cache: locality has to earn hits
                 device: None,
+                metrics: None,
             },
         );
         let (out, dt) = time(|| bfs(&sem, 0, &Config::with_threads(64)));

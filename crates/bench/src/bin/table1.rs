@@ -12,11 +12,11 @@
 //! Env: `ASYNCGT_SCALES`, `ASYNCGT_THREADS`.
 
 use asyncgt::validate::check_shortest_paths;
-use asyncgt::{bfs, Config};
+use asyncgt::{bfs, bfs_recorded, Config};
 use asyncgt_baselines::{level_sync, serial};
 use asyncgt_bench::table::{ratio, secs, Table};
 use asyncgt_bench::workloads::{rmat_directed, rmat_families, EDGE_FACTOR};
-use asyncgt_bench::{banner, scales, thread_counts, time};
+use asyncgt_bench::{banner, metrics_json_path, scales, thread_counts, time};
 
 fn main() {
     banner("Table I: In-Memory Breadth First Search");
@@ -93,7 +93,24 @@ fn main() {
     println!();
     println!("paper shape (Table I): async BFS ≈ 1.1-1.2x MTGL, 1.5-3x SNAP, 4-12x BGL at");
     println!("512 threads on 16 cores; 512 threads beats 16 threads in every case.");
-    println!("note: this host has {} core(s) — parallel *scaling* is flat here; the",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    println!(
+        "note: this host has {} core(s) — parallel *scaling* is flat here; the",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
     println!("async-vs-sync algorithmic comparison and validation still hold.");
+
+    if let Some(out_path) = metrics_json_path() {
+        let (name, params) = rmat_families()[0];
+        let scale = scales()[0];
+        let t = *threads.last().unwrap();
+        let g = rmat_directed(params, scale);
+        let rec = asyncgt::obs::ShardedRecorder::new(t);
+        let _ = bfs_recorded(&g, source, &Config::with_threads(t), &rec);
+        std::fs::write(&out_path, rec.snapshot().to_json_string())
+            .expect("write ASYNCGT_METRICS_JSON");
+        println!();
+        println!("metrics snapshot ({name}/2^{scale}, {t} threads) -> {out_path}");
+    }
 }

@@ -15,12 +15,7 @@ use asyncgt_bench::workloads::{rmat_families, rmat_undirected, web_graphs};
 use asyncgt_bench::{banner, scales, thread_counts, time};
 use asyncgt_graph::{CsrGraph, Graph};
 
-fn run_one(
-    table: &mut Table,
-    name: &str,
-    g: &CsrGraph<u32>,
-    threads: &[usize],
-) {
+fn run_one(table: &mut Table, name: &str, g: &CsrGraph<u32>, threads: &[usize]) {
     let (bgl, t_bgl) = time(|| serial::connected_components(g));
     let (uf, t_uf) = time(|| union_find::connected_components(g));
     assert_eq!(uf, bgl, "union-find CC mismatch");

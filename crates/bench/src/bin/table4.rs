@@ -24,11 +24,11 @@
 //!      `ASYNCGT_BLOCK_KB` (default 8), `ASYNCGT_CACHE_BLOCKS` (default 0).
 
 use asyncgt::validate::check_shortest_paths;
-use asyncgt::{bfs, Config};
+use asyncgt::{bfs, bfs_recorded, Config};
 use asyncgt_baselines::serial;
 use asyncgt_bench::table::{ratio, secs, Table};
 use asyncgt_bench::workloads::{as_sem, rmat_directed, rmat_families, EDGE_FACTOR};
-use asyncgt_bench::{banner, sem_scales, time};
+use asyncgt_bench::{banner, metrics_json_path, sem_scales, time};
 use asyncgt_storage::reader::SemConfig;
 use asyncgt_storage::{DeviceModel, SimulatedFlash};
 use std::sync::Arc;
@@ -81,6 +81,7 @@ fn main() {
                     block_size: block_kb * 1024,
                     cache_blocks,
                     device: Some(dev),
+                    metrics: None,
                 };
 
                 // Serial SEM: one outstanding request at a time.
@@ -93,8 +94,7 @@ fn main() {
                 // Async SEM: oversubscribed threads saturate the channels.
                 let dev = Arc::new(SimulatedFlash::new(model));
                 let sem = as_sem(&g, &format!("t4_{name}_{scale}"), sem_cfg(dev));
-                let (out, t_async) =
-                    time(|| bfs(&sem, source, &Config::with_threads(sem_threads)));
+                let (out, t_async) = time(|| bfs(&sem, source, &Config::with_threads(sem_threads)));
                 check_shortest_paths(&sem, source, &out, true).expect("SEM BFS invalid");
                 assert_eq!(out.dist, bgl.dist, "SEM BFS mismatch on {}", model.name);
 
@@ -115,4 +115,37 @@ fn main() {
     println!("(0.7-0.9x). Here 'overlap' isolates the latency-hiding the paper's design");
     println!("achieves (bounded by device channels); 'vs BGL' additionally pays this");
     println!("host's serialized visitor compute (1 core vs the paper's 8).");
+
+    if let Some(out_path) = metrics_json_path() {
+        use asyncgt::obs::ShardedRecorder;
+        let (name, params) = rmat_families()[0];
+        let scale = sem_scales()[0];
+        let model = DeviceModel::paper_configs()[0];
+        let g = rmat_directed(params, scale);
+        let rec = Arc::new(ShardedRecorder::new(sem_threads));
+        let sem = as_sem(
+            &g,
+            &format!("t4m_{name}_{scale}"),
+            SemConfig {
+                block_size: block_kb * 1024,
+                cache_blocks,
+                device: Some(Arc::new(SimulatedFlash::new(model))),
+                metrics: Some(rec.clone() as _),
+            },
+        );
+        let _ = bfs_recorded(
+            &sem,
+            source,
+            &Config::with_threads(sem_threads),
+            rec.as_ref(),
+        );
+        let mut snap = rec.snapshot();
+        snap.io = Some(sem.io_stats().into());
+        std::fs::write(&out_path, snap.to_json_string()).expect("write ASYNCGT_METRICS_JSON");
+        println!();
+        println!(
+            "metrics snapshot ({name}/2^{scale}, {}, {sem_threads} threads) -> {out_path}",
+            model.name
+        );
+    }
 }

@@ -54,6 +54,7 @@ fn run_one(
             block_size: block_kb * 1024,
             cache_blocks,
             device: Some(dev),
+            metrics: None,
         };
 
         let dev = Arc::new(SimulatedFlash::new(model));

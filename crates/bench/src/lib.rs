@@ -78,6 +78,15 @@ pub fn thread_counts() -> Vec<usize> {
         .collect()
 }
 
+/// Destination for an instrumented-run metrics snapshot
+/// (`ASYNCGT_METRICS_JSON`). When set, the table binaries re-run one
+/// representative configuration with a [`ShardedRecorder`]
+/// (`asyncgt::obs`) attached and write the versioned JSON snapshot here.
+/// The timed table rows themselves always run uninstrumented.
+pub fn metrics_json_path() -> Option<String> {
+    std::env::var("ASYNCGT_METRICS_JSON").ok()
+}
+
 /// Print the standard experiment banner (machine + sizing context that the
 /// paper reports in its table captions).
 pub fn banner(title: &str) {

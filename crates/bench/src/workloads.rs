@@ -3,8 +3,8 @@
 use asyncgt_graph::generators::{webgraph_like, RmatGenerator, RmatParams, WebGraphParams};
 use asyncgt_graph::weights::{weighted_copy, WeightKind};
 use asyncgt_graph::CsrGraph;
-use asyncgt_storage::{write_sem_graph, SemGraph};
 use asyncgt_storage::reader::SemConfig;
+use asyncgt_storage::{write_sem_graph, SemGraph};
 use std::path::PathBuf;
 
 /// Average out-degree used throughout the paper's RMAT experiments.
@@ -15,7 +15,10 @@ pub const SEED: u64 = 0x5C20_1000;
 
 /// The two RMAT families of the evaluation, with their table labels.
 pub fn rmat_families() -> [(&'static str, RmatParams); 2] {
-    [("RMAT-A", RmatParams::RMAT_A), ("RMAT-B", RmatParams::RMAT_B)]
+    [
+        ("RMAT-A", RmatParams::RMAT_A),
+        ("RMAT-B", RmatParams::RMAT_B),
+    ]
 }
 
 /// Directed unweighted RMAT graph at `scale` (BFS/SSSP topology).
@@ -38,11 +41,26 @@ pub fn rmat_weighted(params: RmatParams, scale: u32, kind: WeightKind) -> CsrGra
 /// vertex count to generate at (the originals range 41M–1.7B).
 pub fn web_graphs(scale_n: u64) -> Vec<(&'static str, CsrGraph<u32>)> {
     vec![
-        ("ClueWeb09*", webgraph_like(&WebGraphParams::clueweb_like(scale_n, SEED + 1))),
-        ("it-2004*", webgraph_like(&WebGraphParams::it2004_like(scale_n, SEED + 2))),
-        ("sk-2005*", webgraph_like(&WebGraphParams::sk2005_like(scale_n, SEED + 3))),
-        ("uk-union*", webgraph_like(&WebGraphParams::uk_union_like(scale_n, SEED + 4))),
-        ("webbase-2001*", webgraph_like(&WebGraphParams::webbase_like(scale_n, SEED + 5))),
+        (
+            "ClueWeb09*",
+            webgraph_like(&WebGraphParams::clueweb_like(scale_n, SEED + 1)),
+        ),
+        (
+            "it-2004*",
+            webgraph_like(&WebGraphParams::it2004_like(scale_n, SEED + 2)),
+        ),
+        (
+            "sk-2005*",
+            webgraph_like(&WebGraphParams::sk2005_like(scale_n, SEED + 3)),
+        ),
+        (
+            "uk-union*",
+            webgraph_like(&WebGraphParams::uk_union_like(scale_n, SEED + 4)),
+        ),
+        (
+            "webbase-2001*",
+            webgraph_like(&WebGraphParams::webbase_like(scale_n, SEED + 5)),
+        ),
     ]
 }
 

@@ -23,6 +23,7 @@ const VALUED: &[&str] = &[
     "--device",
     "--block-kb",
     "--cache-blocks",
+    "--metrics-json",
     "-o",
 ];
 
@@ -69,9 +70,7 @@ impl Args {
     pub fn get_parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, String> {
         match self.get(flag) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("bad value {v:?} for {flag}")),
+            Some(v) => v.parse().map_err(|_| format!("bad value {v:?} for {flag}")),
         }
     }
 

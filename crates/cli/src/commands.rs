@@ -5,9 +5,13 @@ use asyncgt::graph::generators::{webgraph_edges, RmatGenerator, RmatParams, WebG
 use asyncgt::graph::traits::WeightedEdgeList;
 use asyncgt::graph::weights::{assign_weights, WeightKind};
 use asyncgt::graph::{io, stats, CsrGraph, Graph, GraphBuilder};
+use asyncgt::obs::{render_summary, ShardedRecorder};
 use asyncgt::storage::reader::SemConfig;
 use asyncgt::storage::{write_sem_graph, DeviceModel, SemGraph, SimulatedFlash};
-use asyncgt::{bfs, connected_components, sssp, Config};
+use asyncgt::{
+    bfs, bfs_recorded, connected_components, connected_components_recorded, sssp, sssp_recorded,
+    Config,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -20,12 +24,17 @@ pub const USAGE: &str = "usage:
   agt convert IN OUT            (edge list <-> SEM CSR, by extension)
   agt info FILE.agt
   agt bfs  FILE.agt [--source V] [--threads T] [--device MODEL] [--validate]
+               [--metrics] [--metrics-json OUT.json]
   agt sssp FILE.agt [--source V] [--threads T] [--device MODEL] [--validate]
+               [--metrics] [--metrics-json OUT.json]
   agt cc   FILE.agt [--threads T] [--device MODEL] [--validate]
+               [--metrics] [--metrics-json OUT.json]
   agt pagerank FILE.agt [--threads T] [--device MODEL]
 
 OUT extension picks the format: .agt (SEM CSR), .txt (text edge list),
-anything else (binary edge list). MODEL: fusionio | intel | corsair.";
+anything else (binary edge list). MODEL: fusionio | intel | corsair.
+--metrics prints a per-worker counter/histogram summary; --metrics-json
+writes the versioned MetricsSnapshot JSON (implies collection).";
 
 /// Dispatch a full argv to its subcommand.
 pub fn dispatch(argv: &[String]) -> Result<(), String> {
@@ -48,8 +57,13 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
 }
 
 fn generate(args: &Args) -> Result<(), String> {
-    let kind = args.pos(0).ok_or("generate: missing generator (rmat|web)")?;
-    let out = args.get("-o").ok_or("generate: missing -o OUT")?.to_string();
+    let kind = args
+        .pos(0)
+        .ok_or("generate: missing generator (rmat|web)")?;
+    let out = args
+        .get("-o")
+        .ok_or("generate: missing -o OUT")?
+        .to_string();
     let seed = args.get_parsed("--seed", 42u64)?;
 
     let (num_vertices, mut edges): (u64, WeightedEdgeList) = match kind {
@@ -86,7 +100,12 @@ fn generate(args: &Args) -> Result<(), String> {
             true
         }
         Some("luw") => {
-            assign_weights(&mut edges, WeightKind::LogUniform, num_vertices, seed ^ 0xBEEF);
+            assign_weights(
+                &mut edges,
+                WeightKind::LogUniform,
+                num_vertices,
+                seed ^ 0xBEEF,
+            );
             true
         }
         Some(v) => return Err(format!("unknown weight kind {v:?} (uw|luw)")),
@@ -173,7 +192,10 @@ fn info(args: &Args) -> Result<(), String> {
     println!("edges           : {}", h.num_edges);
     println!("index width     : {} bytes", h.index_width);
     println!("weighted        : {}", h.weighted);
-    println!("edge region     : {:.1} MB", sem.edge_region_bytes() as f64 / 1e6);
+    println!(
+        "edge region     : {:.1} MB",
+        sem.edge_region_bytes() as f64 / 1e6
+    );
     let d = stats::degree_stats(&sem);
     println!(
         "out-degree      : min {} / mean {:.1} / max {} ({} isolated)",
@@ -194,6 +216,7 @@ fn open_sem(args: &Args, path: &str) -> Result<SemGraph, String> {
         block_size: args.get_parsed("--block-kb", 64usize)? * 1024,
         cache_blocks: args.get_parsed("--cache-blocks", 4096usize)?,
         device: device.map(|m| Arc::new(SimulatedFlash::new(m))),
+        metrics: None,
     };
     SemGraph::open_with(path, sem_cfg).map_err(|e| format!("open {path}: {e}"))
 }
@@ -204,7 +227,11 @@ fn cmd_pagerank(args: &Args) -> Result<(), String> {
     let threads = args.get_parsed("--threads", 16usize)?;
     let sem = open_sem(args, path)?;
     let t = Instant::now();
-    let out = pagerank(&sem, &PageRankParams::default(), &Config::with_threads(threads));
+    let out = pagerank(
+        &sem,
+        &PageRankParams::default(),
+        &Config::with_threads(threads),
+    );
     println!("elapsed         : {:?}", t.elapsed());
     println!("rank commits    : {}", out.commits);
     println!("committed mass  : {:.6}", out.committed_mass());
@@ -225,6 +252,9 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
     let path = args.pos(0).ok_or("missing FILE.agt")?;
     let threads = args.get_parsed("--threads", 16usize)?;
     let source = args.get_parsed("--source", 0u64)?;
+    let metrics_json = args.get("--metrics-json").map(String::from);
+    let want_metrics = args.has("metrics") || metrics_json.is_some();
+    let recorder = want_metrics.then(|| Arc::new(ShardedRecorder::new(threads)));
 
     let device = match args.get("--device") {
         None => None,
@@ -237,41 +267,69 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
         block_size: args.get_parsed("--block-kb", 64usize)? * 1024,
         cache_blocks: args.get_parsed("--cache-blocks", 4096usize)?,
         device: device.map(|m| Arc::new(SimulatedFlash::new(m))),
+        // The recorder doubles as the storage metrics sink, so one
+        // snapshot carries traversal counters and I/O latencies.
+        metrics: recorder.clone().map(|r| r as _),
     };
     let sem = SemGraph::open_with(path, sem_cfg).map_err(|e| format!("open {path}: {e}"))?;
     let cfg = Config::with_threads(threads);
 
     let t = Instant::now();
-    match algo {
+    let run_stats = match algo {
         Algo::Bfs | Algo::Sssp => {
-            let out = match algo {
-                Algo::Bfs => bfs(&sem, source, &cfg),
-                _ => sssp(&sem, source, &cfg),
+            let out = match (&algo, &recorder) {
+                (Algo::Bfs, Some(r)) => bfs_recorded(&sem, source, &cfg, r.as_ref()),
+                (Algo::Bfs, None) => bfs(&sem, source, &cfg),
+                (_, Some(r)) => sssp_recorded(&sem, source, &cfg, r.as_ref()),
+                (_, None) => sssp(&sem, source, &cfg),
             };
             println!("elapsed         : {:?}", t.elapsed());
-            println!("reached         : {} ({:.1}%)", out.reached_count(), out.visited_fraction() * 100.0);
+            println!(
+                "reached         : {} ({:.1}%)",
+                out.reached_count(),
+                out.visited_fraction() * 100.0
+            );
             println!("levels/dists    : {}", out.level_count());
-            println!("visitors        : {} executed, {:.2} per relaxation", out.stats.visitors_executed, out.revisit_factor());
+            println!(
+                "visitors        : {} executed, {:.2} per relaxation",
+                out.stats.visitors_executed,
+                out.revisit_factor()
+            );
             if args.has("validate") {
                 let unit = matches!(algo, Algo::Bfs);
                 asyncgt::validate::check_shortest_paths(&sem, source, &out, unit)
                     .map_err(|e| format!("validation failed: {e}"))?;
                 println!("validation      : ok");
             }
+            out.stats
         }
         Algo::Cc => {
-            let out = connected_components(&sem, &cfg);
+            let out = match &recorder {
+                Some(r) => connected_components_recorded(&sem, &cfg, r.as_ref()),
+                None => connected_components(&sem, &cfg),
+            };
             println!("elapsed         : {:?}", t.elapsed());
             println!("components      : {}", out.component_count());
-            println!("largest         : {} vertices", out.largest_component_size());
+            println!(
+                "largest         : {} vertices",
+                out.largest_component_size()
+            );
             println!("visitors        : {} executed", out.stats.visitors_executed);
             if args.has("validate") {
                 asyncgt::validate::check_components(&sem, &out.ccid)
                     .map_err(|e| format!("validation failed: {e}"))?;
                 println!("validation      : ok");
             }
+            out.stats
         }
-    }
+    };
+    println!(
+        "queue           : {} local pushes ({:.1}%), {} inbox batches, {} parks",
+        run_stats.local_pushes,
+        100.0 * run_stats.local_pushes as f64 / run_stats.visitors_pushed.max(1) as f64,
+        run_stats.inbox_batches,
+        run_stats.parks
+    );
     let io_stats = sem.io_stats();
     println!(
         "I/O             : {} adjacency reads, {} block misses, {:.1} MB",
@@ -279,6 +337,19 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
         io_stats.cache_misses,
         io_stats.bytes_read as f64 / 1e6
     );
+
+    if let Some(rec) = &recorder {
+        let mut snap = rec.snapshot();
+        snap.io = Some(io_stats.into());
+        if args.has("metrics") {
+            println!("\n{}", render_summary(&snap));
+        }
+        if let Some(out_path) = &metrics_json {
+            std::fs::write(out_path, snap.to_json_string())
+                .map_err(|e| format!("write {out_path}: {e}"))?;
+            println!("metrics json    : {out_path}");
+        }
+    }
     Ok(())
 }
 
@@ -350,6 +421,27 @@ mod tests {
             "bfs {agt} --threads 32 --device fusionio --block-kb 8 --validate"
         ))
         .unwrap();
+    }
+
+    #[test]
+    fn metrics_flags_emit_summary_and_json() {
+        let agt = tmp("cli_metrics.agt");
+        let json = tmp("cli_metrics.json");
+        run(&format!("generate rmat --scale 8 -o {agt}")).unwrap();
+        run(&format!(
+            "bfs {agt} --threads 4 --metrics --metrics-json {json}"
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        let snap = asyncgt::obs::MetricsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(
+            snap.counter("visitors_pushed"),
+            snap.counter("visitors_executed"),
+            "all pushed visitors must execute by termination"
+        );
+        assert!(snap.counter("visitors_executed") > 0);
+        assert!(snap.io.is_some(), "SEM run must attach I/O stats");
+        assert!(snap.io.as_ref().unwrap().bytes_read > 0);
     }
 
     #[test]

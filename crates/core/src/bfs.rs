@@ -27,6 +27,20 @@ pub fn bfs<G: Graph>(g: &G, source: Vertex, cfg: &Config) -> TraversalOutput {
     run_sssp(g, source, cfg, true)
 }
 
+/// [`bfs`] with a metrics [`Recorder`](asyncgt_obs::Recorder) (e.g.
+/// [`ShardedRecorder`](asyncgt_obs::ShardedRecorder)) collecting phase
+/// spans, per-worker counters, and service-time histograms. `bfs` itself
+/// is this with [`NoopRecorder`](asyncgt_obs::NoopRecorder), which
+/// compiles the instrumentation out.
+pub fn bfs_recorded<G: Graph, R: asyncgt_obs::Recorder>(
+    g: &G,
+    source: Vertex,
+    cfg: &Config,
+    recorder: &R,
+) -> TraversalOutput {
+    crate::sssp::run_sssp_multi_recorded(g, &[source], cfg, true, recorder)
+}
+
 /// Multi-source asynchronous BFS: `dist[v]` is the hop distance to the
 /// *nearest* source and `parent[v]` a predecessor on such a path.
 ///
@@ -120,10 +134,7 @@ mod tests {
         let g = RmatGenerator::new(RmatParams::RMAT_B, 9, 6, 44).directed();
         let sources = [0u64, 17, 200];
         let multi = bfs_multi_source(&g, &sources, &Config::with_threads(8));
-        let singles: Vec<_> = sources
-            .iter()
-            .map(|&s| serial::bfs(&g, s).dist)
-            .collect();
+        let singles: Vec<_> = sources.iter().map(|&s| serial::bfs(&g, s).dist).collect();
         for v in 0..g.num_vertices() as usize {
             let want = singles.iter().map(|d| d[v]).min().unwrap();
             assert_eq!(multi.dist[v], want, "vertex {v}");

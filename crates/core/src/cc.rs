@@ -9,6 +9,7 @@
 use crate::config::Config;
 use crate::result::TraversalStats;
 use asyncgt_graph::{stats, Graph, Vertex, INF_DIST};
+use asyncgt_obs::{Counter, NoopRecorder, Recorder};
 use asyncgt_vq::{AtomicStateArray, PushCtx, VisitHandler, Visitor, VisitorQueue};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -114,6 +115,19 @@ impl CcOutput {
 /// assert_eq!(out.component_count(), 2);
 /// ```
 pub fn connected_components<G: Graph>(g: &G, cfg: &Config) -> CcOutput {
+    connected_components_recorded(g, cfg, &NoopRecorder)
+}
+
+/// [`connected_components`] with a metrics [`Recorder`] (e.g.
+/// [`ShardedRecorder`](asyncgt_obs::ShardedRecorder)) collecting phase
+/// spans, per-worker counters, and service-time histograms.
+/// `connected_components` itself is this with [`NoopRecorder`], which
+/// compiles the instrumentation out.
+pub fn connected_components_recorded<G: Graph, R: Recorder>(
+    g: &G,
+    cfg: &Config,
+    recorder: &R,
+) -> CcOutput {
     let n = g.num_vertices();
     assert!(
         n < u32::MAX as u64,
@@ -122,8 +136,10 @@ pub fn connected_components<G: Graph>(g: &G, cfg: &Config) -> CcOutput {
     );
     // Algorithm 3: ccid_array initialized to ∞; one visitor per vertex
     // carrying its own descriptor as the starting component id.
+    recorder.phase_start("init_state");
     let ccid = AtomicStateArray::new(n as usize, INF_DIST);
     let relaxations = AtomicU64::new(0);
+    recorder.phase_end("init_state");
 
     let handler = CcHandler {
         g,
@@ -136,9 +152,21 @@ pub fn connected_components<G: Graph>(g: &G, cfg: &Config) -> CcOutput {
     // Component-id priorities span the whole vertex-id space (every vertex
     // seeds itself), so lg(n) − 10 classes fit the queue's bucket ring.
     let default_shift = crate::config::lg2(n).saturating_sub(10);
-    let run = VisitorQueue::run(&cfg.vq(default_shift), &handler, init);
+    recorder.phase_start("traversal");
+    let run = VisitorQueue::run_recorded(&cfg.vq(default_shift), &handler, init, recorder);
+    recorder.phase_end("traversal");
 
-    CcOutput {
+    let relaxed = relaxations.load(Ordering::Relaxed);
+    if R::ENABLED {
+        recorder.counter(Counter::Relaxations, relaxed);
+        recorder.counter(
+            Counter::Revisits,
+            run.visitors_executed.saturating_sub(relaxed),
+        );
+    }
+
+    recorder.phase_start("extract_state");
+    let out = CcOutput {
         ccid: ccid.to_vec(),
         stats: TraversalStats {
             visitors_executed: run.visitors_executed,
@@ -146,11 +174,13 @@ pub fn connected_components<G: Graph>(g: &G, cfg: &Config) -> CcOutput {
             local_pushes: run.local_pushes,
             parks: run.parks,
             inbox_batches: run.inbox_batches,
-            relaxations: relaxations.into_inner(),
+            relaxations: relaxed,
             elapsed: run.elapsed,
             num_threads: run.num_threads,
         },
-    }
+    };
+    recorder.phase_end("extract_state");
+    out
 }
 
 #[cfg(test)]
@@ -238,6 +268,9 @@ mod tests {
         let out = connected_components(&g, &Config::with_threads(2));
         // Every vertex seeds one visitor; all must execute.
         assert!(out.stats.visitors_executed >= 32);
-        assert!(out.stats.relaxations >= 32, "every vertex relaxes at least once");
+        assert!(
+            out.stats.relaxations >= 32,
+            "every vertex relaxes at least once"
+        );
     }
 }

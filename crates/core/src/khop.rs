@@ -89,7 +89,10 @@ pub fn bfs_bounded<G: Graph>(
     cfg: &Config,
 ) -> TraversalOutput {
     let n = g.num_vertices();
-    assert!(source < n, "source vertex {source} out of range ({n} vertices)");
+    assert!(
+        source < n,
+        "source vertex {source} out of range ({n} vertices)"
+    );
     assert!(
         n < u32::MAX as u64,
         "async traversal stores vertex ids as u32; got {n} vertices"
@@ -141,7 +144,9 @@ pub fn khop_ball<G: Graph>(g: &G, source: Vertex, max_depth: u64, cfg: &Config) 
 mod tests {
     use super::*;
     use asyncgt_baselines::serial;
-    use asyncgt_graph::generators::{binary_tree, grid_graph, path_graph, RmatGenerator, RmatParams};
+    use asyncgt_graph::generators::{
+        binary_tree, grid_graph, path_graph, RmatGenerator, RmatParams,
+    };
 
     fn cfg() -> Config {
         Config::with_threads(4)

@@ -55,17 +55,19 @@ pub mod result;
 pub mod sssp;
 pub mod validate;
 
-pub use bfs::{bfs, bfs_multi_source};
-pub use cc::{connected_components, CcOutput};
+pub use bfs::{bfs, bfs_multi_source, bfs_recorded};
+pub use cc::{connected_components, connected_components_recorded, CcOutput};
 pub use config::Config;
 pub use diameter::{double_sweep, eccentricity, DiameterEstimate};
 pub use khop::{bfs_bounded, khop_ball};
 pub use pagerank::{pagerank, PageRankOutput, PageRankParams};
 pub use result::{TraversalOutput, TraversalStats};
-pub use sssp::{sssp, sssp_multi_source};
+pub use sssp::{sssp, sssp_multi_source, sssp_recorded};
 
 /// Re-export of the graph substrate (generators, CSR, I/O, statistics).
 pub use asyncgt_graph as graph;
+/// Re-export of the observability substrate (recorders, metrics snapshots).
+pub use asyncgt_obs as obs;
 /// Re-export of the semi-external storage substrate.
 pub use asyncgt_storage as storage;
 /// Re-export of the visitor-queue runtime.

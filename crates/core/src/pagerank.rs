@@ -190,7 +190,9 @@ impl PageRankOutput {
                 .then(a.cmp(&b))
         });
         idx.truncate(k);
-        idx.into_iter().map(|v| (v, self.rank[v as usize])).collect()
+        idx.into_iter()
+            .map(|v| (v, self.rank[v as usize]))
+            .collect()
     }
 
     /// Total committed mass (≤ 1).
@@ -275,7 +277,9 @@ pub fn pagerank<G: Graph>(g: &G, params: &PageRankParams, cfg: &Config) -> PageR
 mod tests {
     use super::*;
     use asyncgt_baselines::power_iteration;
-    use asyncgt_graph::generators::{complete_graph, cycle_graph, star_graph, RmatGenerator, RmatParams};
+    use asyncgt_graph::generators::{
+        complete_graph, cycle_graph, star_graph, RmatGenerator, RmatParams,
+    };
     use asyncgt_graph::{CsrGraph, GraphBuilder};
 
     fn params(tol: f64) -> PageRankParams {
@@ -324,12 +328,7 @@ mod tests {
         let g = RmatGenerator::new(RmatParams::RMAT_B, 8, 6, 3).undirected();
         let a = pagerank(&g, &params(1e-10), &Config::with_threads(1));
         let b = pagerank(&g, &params(1e-10), &Config::with_threads(16));
-        let l1: f64 = a
-            .rank
-            .iter()
-            .zip(&b.rank)
-            .map(|(x, y)| (x - y).abs())
-            .sum();
+        let l1: f64 = a.rank.iter().zip(&b.rank).map(|(x, y)| (x - y).abs()).sum();
         // Execution order differs, but both land within tolerance bounds.
         assert!(l1 < g.num_vertices() as f64 * 1e-9 * 4.0, "L1 {l1}");
     }

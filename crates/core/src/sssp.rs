@@ -10,6 +10,7 @@
 use crate::config::Config;
 use crate::result::{TraversalOutput, TraversalStats};
 use asyncgt_graph::{Graph, Vertex, INF_DIST, NO_VERTEX};
+use asyncgt_obs::{Counter, NoopRecorder, Recorder};
 use asyncgt_vq::{AtomicStateArray, PushCtx, VisitHandler, Visitor, VisitorQueue};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -111,7 +112,7 @@ pub(crate) fn run_sssp<G: Graph>(
     cfg: &Config,
     unit_weights: bool,
 ) -> TraversalOutput {
-    run_sssp_multi(g, &[source], cfg, unit_weights)
+    run_sssp_multi_recorded(g, &[source], cfg, unit_weights, &NoopRecorder)
 }
 
 pub(crate) fn run_sssp_multi<G: Graph>(
@@ -120,10 +121,23 @@ pub(crate) fn run_sssp_multi<G: Graph>(
     cfg: &Config,
     unit_weights: bool,
 ) -> TraversalOutput {
+    run_sssp_multi_recorded(g, sources, cfg, unit_weights, &NoopRecorder)
+}
+
+pub(crate) fn run_sssp_multi_recorded<G: Graph, R: Recorder>(
+    g: &G,
+    sources: &[Vertex],
+    cfg: &Config,
+    unit_weights: bool,
+    recorder: &R,
+) -> TraversalOutput {
     let n = g.num_vertices();
     assert!(!sources.is_empty(), "at least one source vertex required");
     for &source in sources {
-        assert!(source < n, "source vertex {source} out of range ({n} vertices)");
+        assert!(
+            source < n,
+            "source vertex {source} out of range ({n} vertices)"
+        );
     }
     assert!(
         n < u32::MAX as u64,
@@ -132,9 +146,11 @@ pub(crate) fn run_sssp_multi<G: Graph>(
     );
 
     // Paper Algorithm 1: dist/parent arrays initialized to ∞.
+    recorder.phase_start("init_state");
     let dist = AtomicStateArray::new(n as usize, INF_DIST);
     let parent = AtomicStateArray::new(n as usize, NO_VERTEX);
     let relaxations = AtomicU64::new(0);
+    recorder.phase_end("init_state");
 
     let handler = SsspHandler {
         g,
@@ -164,9 +180,24 @@ pub(crate) fn run_sssp_multi<G: Graph>(
     } else {
         crate::config::lg2(n).saturating_sub(9)
     };
-    let run = VisitorQueue::run(&cfg.vq(default_shift), &handler, init);
+    recorder.phase_start("traversal");
+    let run = VisitorQueue::run_recorded(&cfg.vq(default_shift), &handler, init, recorder);
+    recorder.phase_end("traversal");
 
-    TraversalOutput {
+    let relaxed = relaxations.load(Ordering::Relaxed);
+    if R::ENABLED {
+        recorder.counter(Counter::Relaxations, relaxed);
+        // Executions that failed the label check: the redundant work behind
+        // the paper's revisit factor (§III-B "possibly requiring multiple
+        // visits per vertex").
+        recorder.counter(
+            Counter::Revisits,
+            run.visitors_executed.saturating_sub(relaxed),
+        );
+    }
+
+    recorder.phase_start("extract_state");
+    let out = TraversalOutput {
         dist: dist.to_vec(),
         parent: parent.to_vec(),
         stats: TraversalStats {
@@ -175,11 +206,13 @@ pub(crate) fn run_sssp_multi<G: Graph>(
             local_pushes: run.local_pushes,
             parks: run.parks,
             inbox_batches: run.inbox_batches,
-            relaxations: relaxations.into_inner(),
+            relaxations: relaxed,
             elapsed: run.elapsed,
             num_threads: run.num_threads,
         },
-    }
+    };
+    recorder.phase_end("extract_state");
+    out
 }
 
 /// Asynchronous Single-Source Shortest Paths from `source`.
@@ -204,15 +237,24 @@ pub fn sssp<G: Graph>(g: &G, source: Vertex, cfg: &Config) -> TraversalOutput {
     run_sssp(g, source, cfg, false)
 }
 
+/// [`sssp`] with a metrics [`Recorder`] (e.g.
+/// [`ShardedRecorder`](asyncgt_obs::ShardedRecorder)) collecting phase
+/// spans, per-worker counters, and service-time histograms. `sssp` itself
+/// is this with [`NoopRecorder`], which compiles the instrumentation out.
+pub fn sssp_recorded<G: Graph, R: Recorder>(
+    g: &G,
+    source: Vertex,
+    cfg: &Config,
+    recorder: &R,
+) -> TraversalOutput {
+    run_sssp_multi_recorded(g, &[source], cfg, false, recorder)
+}
+
 /// Multi-source asynchronous SSSP: `dist[v]` is the weighted distance to
 /// the nearest of `sources` (a "Voronoi" assignment over the sources, via
 /// the parent pointers). Seeding several visitors instead of one is the
 /// same generalization the paper's CC algorithm uses.
-pub fn sssp_multi_source<G: Graph>(
-    g: &G,
-    sources: &[Vertex],
-    cfg: &Config,
-) -> TraversalOutput {
+pub fn sssp_multi_source<G: Graph>(g: &G, sources: &[Vertex], cfg: &Config) -> TraversalOutput {
     run_sssp_multi(g, sources, cfg, false)
 }
 
@@ -292,7 +334,7 @@ mod tests {
                 for pair in path.windows(2) {
                     let mut w_found = None;
                     g.for_each_neighbor(pair[0], |t, w| {
-                        if t == pair[1] && w_found.map_or(true, |x| w < x) {
+                        if t == pair[1] && w_found.is_none_or(|x| w < x) {
                             w_found = Some(w);
                         }
                     });

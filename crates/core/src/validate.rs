@@ -29,7 +29,10 @@ pub fn check_shortest_paths<G: Graph>(
         return Err("output arrays have wrong length".into());
     }
     if out.dist[source as usize] != 0 {
-        return Err(format!("dist[source] = {}, want 0", out.dist[source as usize]));
+        return Err(format!(
+            "dist[source] = {}, want 0",
+            out.dist[source as usize]
+        ));
     }
     if out.parent[source as usize] != NO_VERTEX {
         return Err("source must have no parent".into());

@@ -77,11 +77,7 @@ pub fn betweenness_sampled<G: Graph>(g: &G, sources: &[Vertex], num_threads: usi
     c
 }
 
-fn betweenness_from_sources<G: Graph>(
-    g: &G,
-    sources: &[Vertex],
-    num_threads: usize,
-) -> Vec<f64> {
+fn betweenness_from_sources<G: Graph>(g: &G, sources: &[Vertex], num_threads: usize) -> Vec<f64> {
     let n = g.num_vertices() as usize;
     let num_threads = num_threads.max(1).min(sources.len().max(1));
     if num_threads == 1 {
@@ -133,8 +129,8 @@ mod tests {
         // pairs.
         let expect = ((n - 1) * (n - 2)) as f64;
         assert!((c[0] - expect).abs() < 1e-9, "hub {} want {expect}", c[0]);
-        for leaf in 1..n as usize {
-            assert!(c[leaf].abs() < 1e-9);
+        for leaf in &c[1..n as usize] {
+            assert!(leaf.abs() < 1e-9);
         }
     }
 

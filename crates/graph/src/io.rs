@@ -33,7 +33,11 @@ pub fn write_text<W: Write>(
 ) -> io::Result<()> {
     let mut w = BufWriter::new(out);
     writeln!(w, "# asyncgt edge list")?;
-    writeln!(w, "# vertices {num_vertices} edges {} weighted {weighted}", edges.len())?;
+    writeln!(
+        w,
+        "# vertices {num_vertices} edges {} weighted {weighted}",
+        edges.len()
+    )?;
     for &(s, t, wt) in edges {
         if weighted {
             writeln!(w, "{s} {t} {wt}")?;

@@ -31,8 +31,8 @@ pub mod relabel;
 pub mod scc;
 pub mod stats;
 pub mod subgraph;
-pub mod triangles;
 pub mod traits;
+pub mod triangles;
 pub mod weights;
 
 pub use builder::GraphBuilder;

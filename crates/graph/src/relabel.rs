@@ -189,8 +189,8 @@ mod tests {
         // apply_inverse maps relabeled-indexed data back to original ids.
         let relabeled_ids: Vec<Vertex> = (0..g.num_vertices()).collect();
         let back = perm.apply_inverse(&relabeled_ids);
-        for old in 0..g.num_vertices() as usize {
-            assert_eq!(back[old], perm.map(old as Vertex));
+        for (old, &b) in back.iter().enumerate() {
+            assert_eq!(b, perm.map(old as Vertex));
         }
     }
 

@@ -212,10 +212,7 @@ mod tests {
     fn component_sizes_sum_to_n() {
         let g = RmatGenerator::new(RmatParams::RMAT_A, 9, 8, 31).directed();
         let out = strongly_connected_components(&g);
-        assert_eq!(
-            out.component_sizes().iter().sum::<u64>(),
-            g.num_vertices()
-        );
+        assert_eq!(out.component_sizes().iter().sum::<u64>(), g.num_vertices());
         // RMAT digraphs have a large SCC plus many singletons.
         assert!(out.largest() > 1);
         assert!(out.num_components > 1);

@@ -59,7 +59,11 @@ pub fn degree_histogram<G: Graph>(g: &G) -> Vec<u64> {
     let mut hist = vec![0u64; 2];
     for v in 0..g.num_vertices() {
         let d = g.out_degree(v);
-        let bucket = if d == 0 { 0 } else { 64 - d.leading_zeros() as usize };
+        let bucket = if d == 0 {
+            0
+        } else {
+            64 - d.leading_zeros() as usize
+        };
         if bucket >= hist.len() {
             hist.resize(bucket + 1, 0);
         }

@@ -68,7 +68,12 @@ pub fn edge_weight(
 }
 
 /// Apply a weight distribution to an edge list in place.
-pub fn assign_weights(edges: &mut WeightedEdgeList, kind: WeightKind, num_vertices: u64, seed: u64) {
+pub fn assign_weights(
+    edges: &mut WeightedEdgeList,
+    kind: WeightKind,
+    num_vertices: u64,
+    seed: u64,
+) {
     for e in edges.iter_mut() {
         e.2 = edge_weight(kind, num_vertices, seed, e.0, e.1);
     }
@@ -125,7 +130,10 @@ mod tests {
             .collect();
         uw.sort_unstable();
         luw.sort_unstable();
-        assert!(luw[1000] * 8 < uw[1000], "LUW median should be much smaller");
+        assert!(
+            luw[1000] * 8 < uw[1000],
+            "LUW median should be much smaller"
+        );
     }
 
     #[test]

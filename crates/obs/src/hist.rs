@@ -1,0 +1,243 @@
+//! Lock-free log2-bucketed histogram.
+//!
+//! Values land in bucket `64 - leading_zeros(v)`: bucket 0 holds only
+//! zero, bucket `i >= 1` holds `[2^(i-1), 2^i)`. 65 buckets cover the
+//! full `u64` range. Recording is a handful of relaxed atomic adds, so
+//! it is safe in the visitor hot path when a sharded recorder is active.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Number of log2 buckets (zero bucket + one per bit position).
+pub const NUM_BUCKETS: usize = 65;
+
+/// Bucket index for a value.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+#[inline]
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    match index {
+        0 => 0,
+        i => 1u64 << (i - 1),
+    }
+}
+
+/// Concurrent histogram: log2 buckets plus exact count/sum and min/max.
+pub struct LogHistogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    pub const fn new() -> Self {
+        LogHistogram {
+            buckets: [const { AtomicU64::new(0) }; NUM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(value, Relaxed);
+        self.min.fetch_min(value, Relaxed);
+        self.max.fetch_max(value, Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistSnapshot {
+        let count = self.count.load(Relaxed);
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Relaxed);
+            if n > 0 {
+                buckets.push((i as u32, n));
+            }
+        }
+        HistSnapshot {
+            count,
+            sum: self.sum.load(Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Relaxed)
+            },
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Immutable, mergeable view of a [`LogHistogram`]. Only non-empty
+/// buckets are kept, as `(bucket_index, count)` pairs sorted by index.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold another snapshot into this one (shard aggregation).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the value at quantile `q` in `[0, 1]` from the bucket
+    /// boundaries (upper bound of the bucket containing the quantile,
+    /// clamped to the observed max).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let upper = match idx {
+                    0 => 0,
+                    64 => u64::MAX,
+                    i => (1u64 << i) - 1,
+                };
+                return upper.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Total of all bucket counts; equals `count` for a consistent
+    /// snapshot (checked by the integration tests).
+    pub fn bucket_total(&self) -> u64 {
+        self.buckets.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 1..NUM_BUCKETS {
+            assert_eq!(bucket_of(bucket_lower_bound(i)), i);
+            assert_eq!(bucket_of(bucket_lower_bound(i) - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = LogHistogram::new();
+        for v in [0, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1105);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.bucket_total(), s.count);
+        assert!((s.mean() - 1105.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(5);
+        a.record(9);
+        b.record(1);
+        b.record(1_000_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum, 5 + 9 + 1 + 1_000_000);
+        assert_eq!(m.min, 1);
+        assert_eq!(m.max, 1_000_000);
+        assert_eq!(m.bucket_total(), 4);
+    }
+
+    #[test]
+    fn quantiles_are_ordered_and_bounded() {
+        let h = LogHistogram::new();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= s.max);
+        assert!(p50 >= 256, "p50 of 1..=1024 should be in the upper buckets");
+        assert_eq!(s.quantile(1.0), s.max);
+    }
+
+    #[test]
+    fn concurrent_records_are_not_lost() {
+        let h = std::sync::Arc::new(LogHistogram::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for v in 0..10_000u64 {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count, 40_000);
+        assert_eq!(s.bucket_total(), 40_000);
+    }
+}

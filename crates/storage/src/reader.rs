@@ -16,6 +16,7 @@
 use crate::device::SimulatedFlash;
 use crate::format::{SemHeader, HEADER_BYTES};
 use asyncgt_graph::{Graph, Vertex, Weight};
+use asyncgt_obs::{IoSnapshot, MetricSink};
 use parking_lot::Mutex;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -36,6 +37,12 @@ pub struct SemConfig {
     pub cache_blocks: usize,
     /// Optional simulated flash device charged once per block fetched.
     pub device: Option<Arc<SimulatedFlash>>,
+    /// Optional metrics sink receiving per-read latency/bytes and
+    /// cache-access events. Dynamic dispatch is deliberate here: each
+    /// event corresponds to a µs-scale I/O operation, so the vtable call
+    /// is noise, and a trait object keeps the storage layer independent
+    /// of the runtime's generic recorder plumbing.
+    pub metrics: Option<Arc<dyn MetricSink>>,
 }
 
 impl Default for SemConfig {
@@ -45,6 +52,7 @@ impl Default for SemConfig {
             block_size: 64 * 1024,
             cache_blocks: 4096,
             device: None,
+            metrics: None,
         }
     }
 }
@@ -55,6 +63,7 @@ impl std::fmt::Debug for SemConfig {
             .field("block_size", &self.block_size)
             .field("cache_blocks", &self.cache_blocks)
             .field("device", &self.device.as_ref().map(|d| d.model().name))
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -127,6 +136,17 @@ pub struct IoStats {
     pub cache_misses: u64,
     /// Bytes fetched from the device/file.
     pub bytes_read: u64,
+}
+
+impl From<IoStats> for IoSnapshot {
+    fn from(s: IoStats) -> IoSnapshot {
+        IoSnapshot {
+            adjacency_reads: s.adjacency_reads,
+            cache_hits: s.cache_hits,
+            cache_misses: s.cache_misses,
+            bytes_read: s.bytes_read,
+        }
+    }
 }
 
 /// A semi-external CSR graph: offsets in memory, edges on storage.
@@ -234,9 +254,17 @@ impl SemGraph {
         let file_len = self.header.expected_file_len();
         let len = bs.min(file_len.saturating_sub(start)) as usize;
         let mut buf = vec![0u8; len];
+        let read_start = self
+            .config
+            .metrics
+            .as_ref()
+            .map(|_| std::time::Instant::now());
         match &self.config.device {
             Some(dev) => dev.read(|| self.file.read_exact_at(&mut buf, start))?,
             None => self.file.read_exact_at(&mut buf, start)?,
+        }
+        if let (Some(sink), Some(t0)) = (&self.config.metrics, read_start) {
+            sink.io_read(t0.elapsed().as_nanos() as u64, len as u64);
         }
         self.block_fetches.fetch_add(1, Ordering::Relaxed);
         self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
@@ -261,8 +289,16 @@ impl SemGraph {
         for block in first_block..=last_block {
             let data = match &self.cache {
                 Some(cache) => match cache.get(block) {
-                    Some(d) => d,
+                    Some(d) => {
+                        if let Some(sink) = &self.config.metrics {
+                            sink.cache_access(true);
+                        }
+                        d
+                    }
                     None => {
+                        if let Some(sink) = &self.config.metrics {
+                            sink.cache_access(false);
+                        }
                         let d = self.fetch_block(block)?;
                         cache.insert(block, d.clone());
                         d
@@ -384,10 +420,7 @@ mod tests {
 
     #[test]
     fn u64_indices_round_trip() {
-        let g: CsrGraph<u64> = GraphBuilder::new(3)
-            .add_edge(0, 2)
-            .add_edge(2, 1)
-            .build();
+        let g: CsrGraph<u64> = GraphBuilder::new(3).add_edge(0, 2).add_edge(2, 1).build();
         let path = tmp("u64.agt");
         write_sem_graph(&path, &g).unwrap();
         let sem = SemGraph::open(&path).unwrap();
@@ -432,6 +465,7 @@ mod tests {
                 block_size: 4096,
                 cache_blocks: 16,
                 device: None,
+                metrics: None,
             },
         )
         .unwrap();
@@ -458,6 +492,7 @@ mod tests {
                 block_size: 4096,
                 cache_blocks: 0,
                 device: None,
+                metrics: None,
             },
         )
         .unwrap();
@@ -486,6 +521,7 @@ mod tests {
                 block_size: 4096,
                 cache_blocks: 8,
                 device: Some(dev.clone()),
+                metrics: None,
             },
         )
         .unwrap();
@@ -518,6 +554,7 @@ mod tests {
                 block_size: 64, // 16 records per block
                 cache_blocks: 4,
                 device: None,
+                metrics: None,
             },
         )
         .unwrap();
@@ -540,6 +577,46 @@ mod tests {
         let sem = SemGraph::open(&path).unwrap();
         let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sem.neighbors(0)));
         assert!(res.is_err(), "corrupt target must not be returned");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn metrics_sink_sees_reads_and_cache_traffic() {
+        use asyncgt_obs::ShardedRecorder;
+
+        let g = sample_graph();
+        let path = tmp("metrics_sink.agt");
+        write_sem_graph(&path, &g).unwrap();
+        let rec = Arc::new(ShardedRecorder::new(1));
+        let sem = SemGraph::open_with(
+            &path,
+            SemConfig {
+                block_size: 4096,
+                cache_blocks: 16,
+                device: None,
+                metrics: Some(rec.clone()),
+            },
+        )
+        .unwrap();
+        for _ in 0..3 {
+            for v in 0..5 {
+                sem.for_each_neighbor(v, |_, _| {});
+            }
+        }
+        let io = sem.io_stats();
+        let snap = rec.snapshot();
+        // Sink events must agree with the graph's own IoStats.
+        assert_eq!(snap.counter("cache_hits"), io.cache_hits);
+        assert_eq!(snap.counter("cache_misses"), io.cache_misses);
+        assert_eq!(snap.counter("storage_reads"), io.cache_misses);
+        assert_eq!(snap.counter("bytes_read"), io.bytes_read);
+        let lat = snap.histograms.get(asyncgt_obs::HistKind::ReadLatencyNs);
+        assert_eq!(lat.count, io.cache_misses);
+        assert!(lat.sum > 0, "read latency must be measured");
+        // And IoStats converts losslessly into the snapshot form.
+        let io_snap: asyncgt_obs::IoSnapshot = io.into();
+        assert_eq!(io_snap.bytes_read, io.bytes_read);
+        assert_eq!(io_snap.adjacency_reads, io.adjacency_reads);
         std::fs::remove_file(&path).ok();
     }
 

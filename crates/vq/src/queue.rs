@@ -24,9 +24,10 @@
 //! the end of the visit, and completions accumulate into a per-worker debt
 //! settled at the latest when the worker runs out of local work.
 
+use crate::bucket::BucketQueue;
 use crate::config::VqConfig;
 use crate::visitor::{VisitHandler, Visitor};
-use crate::bucket::BucketQueue;
+use asyncgt_obs::{Counter, Gauge, HistKind, NoopRecorder, Recorder};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -78,14 +79,23 @@ struct Shared<V> {
     poisoned: AtomicBool,
 }
 
+/// Queue selection: Fibonacci multiplicative hash of the target vertex,
+/// mapped to `[0, num_queues)` with a widening multiply. The multiply uses
+/// all 64 hash bits and is exactly uniform over them for any queue count —
+/// unlike `(h >> 32) % n`, whose modulo over-weights low residues for
+/// non-power-of-two `n` — so "high-cost vertices will be uniformly
+/// distributed across the queues" (paper §III-A) holds for every thread
+/// count.
+#[inline]
+pub(crate) fn route_of(vertex: u64, num_queues: usize) -> usize {
+    let h = vertex.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((h as u128 * num_queues as u128) >> 64) as usize
+}
+
 impl<V: Visitor> Shared<V> {
-    /// Queue selection: Fibonacci multiplicative hash of the target vertex.
-    /// Near-uniform, so "high-cost vertices will be uniformly distributed
-    /// across the queues" (paper §III-A).
     #[inline]
     fn route(&self, vertex: u64) -> usize {
-        let h = vertex.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        ((h >> 32) as usize) % self.inboxes.len()
+        route_of(vertex, self.inboxes.len())
     }
 
     /// Wake every parked worker (termination or poison).
@@ -234,6 +244,20 @@ impl VisitorQueue {
         H: VisitHandler<V>,
         I: IntoIterator<Item = V>,
     {
+        Self::run_recorded(cfg, handler, init, &NoopRecorder)
+    }
+
+    /// [`Self::run`] with a metrics [`Recorder`]. The recorder is a
+    /// monomorphized type parameter, and every instrumentation site is
+    /// guarded by `R::ENABLED`, so running with [`NoopRecorder`] (what
+    /// [`Self::run`] does) compiles to the uninstrumented hot path.
+    pub fn run_recorded<V, H, I, R>(cfg: &VqConfig, handler: &H, init: I, recorder: &R) -> RunStats
+    where
+        V: Visitor,
+        H: VisitHandler<V>,
+        I: IntoIterator<Item = V>,
+        R: Recorder,
+    {
         let num_threads = cfg.num_threads.max(1);
         let shared = Shared {
             inboxes: (0..num_threads).map(|_| Inbox::new()).collect(),
@@ -251,6 +275,11 @@ impl VisitorQueue {
             seeded += 1;
         }
         shared.pending.store(seeded, Ordering::Release);
+        if R::ENABLED {
+            // Seed pushes come from the driver thread (overflow shard);
+            // worker-attributed pushes are recorded in the worker loop.
+            recorder.counter(Counter::VisitorsPushed, seeded);
+        }
 
         let start = Instant::now();
         let mut stats = RunStats {
@@ -264,7 +293,8 @@ impl VisitorQueue {
                 let mut handles = Vec::with_capacity(num_threads);
                 for id in 0..num_threads {
                     let shared = &shared;
-                    handles.push(scope.spawn(move || worker_loop(shared, handler, id, cfg)));
+                    handles
+                        .push(scope.spawn(move || worker_loop(shared, handler, id, cfg, recorder)));
                 }
                 for h in handles {
                     // A panicked worker has already poisoned the run, so the
@@ -294,17 +324,22 @@ struct WorkerStats {
     inbox_batches: u64,
 }
 
-fn worker_loop<V: Visitor, H: VisitHandler<V>>(
+fn worker_loop<V: Visitor, H: VisitHandler<V>, R: Recorder>(
     shared: &Shared<V>,
     handler: &H,
     id: usize,
     cfg: &VqConfig,
+    recorder: &R,
 ) -> WorkerStats {
     let inbox = &shared.inboxes[id];
     let mut heap: BucketQueue<V> = BucketQueue::new(cfg.priority_shift, cfg.sort_buckets);
     let mut outbox: Outbox<V> = Outbox::new(shared.inboxes.len());
     let mut stats = WorkerStats::default();
     let poison_guard = PoisonOnPanic(shared);
+    if R::ENABLED {
+        recorder.register_worker(id);
+        recorder.timeline("worker_start");
+    }
 
     // Completions not yet subtracted from the global counter. Holding debt
     // makes `pending` an over-count — safe (termination is only delayed) —
@@ -321,10 +356,20 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>>(
         if inbox.has_mail.load(Ordering::Acquire) {
             let mut mail = inbox.mail.lock();
             inbox.has_mail.store(false, Ordering::Release);
-            if !mail.is_empty() {
+            let batch = mail.len() as u64;
+            if batch > 0 {
                 stats.inbox_batches += 1;
+                if R::ENABLED {
+                    recorder.counter(Counter::InboxBatches, 1);
+                    recorder.observe(HistKind::InboxBatchSize, batch);
+                }
             }
             heap.extend(mail.drain(..));
+            if R::ENABLED && batch > 0 {
+                let depth = heap.len() as u64;
+                recorder.observe(HistKind::QueueDepth, depth);
+                recorder.gauge_max(Gauge::QueueDepthHwm, depth);
+            }
         }
 
         if let Some(v) = heap.pop() {
@@ -340,10 +385,26 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>>(
                 pushed: 0,
                 local_pushes: 0,
             };
+            let visit_start = if R::ENABLED {
+                Some(Instant::now())
+            } else {
+                None
+            };
             handler.visit(v, &mut ctx);
+            if let Some(t0) = visit_start {
+                recorder.observe(HistKind::ServiceTimeNs, t0.elapsed().as_nanos() as u64);
+            }
             if ctx.local_pushes > 0 {
                 // Publish deferred-increment local pushes (see PushCtx).
-                shared.pending.fetch_add(ctx.local_pushes, Ordering::Relaxed);
+                shared
+                    .pending
+                    .fetch_add(ctx.local_pushes, Ordering::Relaxed);
+            }
+            if R::ENABLED {
+                recorder.counter(Counter::VisitorsExecuted, 1);
+                recorder.counter(Counter::VisitorsPushed, ctx.pushed);
+                recorder.counter(Counter::LocalPushes, ctx.local_pushes);
+                recorder.counter(Counter::RemotePushes, ctx.pushed - ctx.local_pushes);
             }
             stats.pushed += ctx.pushed;
             stats.local_pushes += ctx.local_pushes;
@@ -354,6 +415,9 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>>(
                 debt = 0;
             }
             if outbox.staged >= OUTBOX_FLUSH {
+                if R::ENABLED {
+                    recorder.counter(Counter::OutboxFlushes, 1);
+                }
                 outbox.flush(shared);
             }
             continue;
@@ -362,6 +426,9 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>>(
         // Out of local work: deliver staged mail (other workers may be
         // waiting on it), then settle the completion debt so the global
         // counter is exact before any termination check or park.
+        if R::ENABLED && outbox.staged > 0 {
+            recorder.counter(Counter::OutboxFlushes, 1);
+        }
         outbox.flush(shared);
         shared.complete(debt);
         debt = 0;
@@ -384,7 +451,16 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>>(
             if !mail.is_empty() {
                 inbox.has_mail.store(false, Ordering::Release);
                 stats.inbox_batches += 1;
+                if R::ENABLED {
+                    recorder.counter(Counter::InboxBatches, 1);
+                    recorder.observe(HistKind::InboxBatchSize, mail.len() as u64);
+                }
                 heap.extend(mail.drain(..));
+                if R::ENABLED {
+                    let depth = heap.len() as u64;
+                    recorder.observe(HistKind::QueueDepth, depth);
+                    recorder.gauge_max(Gauge::QueueDepthHwm, depth);
+                }
                 break;
             }
             if shared.pending.load(Ordering::Acquire) == 0
@@ -395,10 +471,19 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>>(
             // Timed wait: bounds the missed-notify race (a pusher notifies
             // between our emptiness check and the wait) without spinning.
             stats.parks += 1;
-            inbox.cv.wait_for(&mut mail, cfg.park_timeout);
+            if R::ENABLED {
+                recorder.counter(Counter::Parks, 1);
+            }
+            let wait = inbox.cv.wait_for(&mut mail, cfg.park_timeout);
+            if R::ENABLED && !wait.timed_out() {
+                recorder.counter(Counter::Wakes, 1);
+            }
         }
     }
 
+    if R::ENABLED {
+        recorder.timeline("worker_exit");
+    }
     drop(poison_guard);
     stats
 }
@@ -570,10 +655,17 @@ mod tests {
         let n = 64;
         let rounds = 200;
         let h = ExclusivityHandler {
-            counts: (0..n).map(|_| crossbeam_like::CachePaddedCell::new()).collect(),
+            counts: (0..n)
+                .map(|_| crossbeam_like::CachePaddedCell::new())
+                .collect(),
             rounds,
         };
-        let init: Vec<Probe> = (0..n as u64).map(|v| Probe { vertex: v, round: 0 }).collect();
+        let init: Vec<Probe> = (0..n as u64)
+            .map(|v| Probe {
+                vertex: v,
+                round: 0,
+            })
+            .collect();
         VisitorQueue::run(&VqConfig::with_threads(16), &h, init);
         for c in &h.counts {
             assert_eq!(c.get(), rounds, "unsynchronized counter corrupted");
@@ -649,5 +741,90 @@ mod tests {
         let s = VisitorQueue::run(&VqConfig::with_threads(1), &h, [Chain(0)]);
         // Every non-seed push targets the only queue: all local.
         assert_eq!(s.local_pushes, 99);
+    }
+
+    #[test]
+    fn route_is_uniform_for_non_power_of_two_queue_counts() {
+        // The old `(h >> 32) % n` mapping over-weighted low queue indices
+        // for non-power-of-two n; the widening multiply must not. Route a
+        // large block of consecutive vertex ids (the common CSR id space)
+        // and check every queue stays within ±5% of the expected share.
+        for &queues in &[3usize, 5, 6, 7, 12, 48, 96, 100] {
+            let samples: u64 = 480_000;
+            let mut counts = vec![0u64; queues];
+            for v in 0..samples {
+                counts[route_of(v, queues)] += 1;
+            }
+            let expect = samples as f64 / queues as f64;
+            for (q, &c) in counts.iter().enumerate() {
+                let rel = (c as f64 - expect).abs() / expect;
+                assert!(
+                    rel < 0.05,
+                    "queues={queues} queue {q}: {c} vs expected {expect:.0} ({:.1}% off)",
+                    rel * 100.0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_stays_in_bounds_at_extremes() {
+        for &queues in &[1usize, 2, 3, 63, 64, 65, 1024] {
+            for v in [0u64, 1, u64::MAX, u64::MAX - 1, 1 << 63] {
+                assert!(route_of(v, queues) < queues);
+            }
+        }
+    }
+
+    #[test]
+    fn recorded_run_matches_plain_run_and_counts_balance() {
+        use asyncgt_obs::ShardedRecorder;
+
+        let h1 = ChainHandler {
+            n: 3000,
+            visits: AtomicU64::new(0),
+        };
+        let plain = VisitorQueue::run(&VqConfig::with_threads(4), &h1, [Chain(0)]);
+
+        let h2 = ChainHandler {
+            n: 3000,
+            visits: AtomicU64::new(0),
+        };
+        let rec = ShardedRecorder::new(4);
+        let recorded =
+            VisitorQueue::run_recorded(&VqConfig::with_threads(4), &h2, [Chain(0)], &rec);
+
+        // Identical work with and without metrics.
+        assert_eq!(plain.visitors_executed, recorded.visitors_executed);
+        assert_eq!(plain.visitors_pushed, recorded.visitors_pushed);
+        assert_eq!(h1.visits.load(AO::Relaxed), h2.visits.load(AO::Relaxed));
+
+        // Recorder totals agree with the engine's own accounting.
+        let snap = rec.snapshot();
+        assert_eq!(
+            snap.counter("visitors_executed"),
+            recorded.visitors_executed
+        );
+        assert_eq!(snap.counter("visitors_pushed"), recorded.visitors_pushed);
+        assert_eq!(snap.counter("local_pushes"), recorded.local_pushes);
+        assert_eq!(
+            snap.counter("visitors_pushed"),
+            snap.counter("visitors_executed"),
+            "at termination every pushed visitor has executed"
+        );
+        // One service-time observation per executed visitor.
+        assert_eq!(
+            snap.histograms
+                .get(asyncgt_obs::HistKind::ServiceTimeNs)
+                .count,
+            recorded.visitors_executed
+        );
+        // Every worker started and exited on the timeline.
+        let exits = snap
+            .timeline
+            .iter()
+            .filter(|e| e.label == "worker_exit")
+            .count();
+        assert_eq!(exits, 4);
     }
 }

@@ -62,7 +62,10 @@ impl AtomicStateArray {
 
     /// Copy the contents into a plain vector (after a run completes).
     pub fn to_vec(&self) -> Vec<u64> {
-        self.data.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+        self.data
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

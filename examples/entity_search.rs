@@ -25,7 +25,11 @@ fn main() {
 
     println!("building relationship graph with {entities} entities …");
     let g = webgraph_like(&WebGraphParams::uk_union_like(entities, 7));
-    println!("  {} entities, {} relationships", g.num_vertices(), g.num_edges());
+    println!(
+        "  {} entities, {} relationships",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     // Entity of interest: the best-connected one (a "hub" suspect).
     let poi = (0..g.num_vertices())
@@ -43,7 +47,13 @@ fn main() {
         probe.stats.visitors_executed,
     );
     let per_hop: Vec<usize> = (0..=hops)
-        .map(|d| probe.dist.iter().filter(|&&x| x == d && x != INF_DIST).count())
+        .map(|d| {
+            probe
+                .dist
+                .iter()
+                .filter(|&&x| x == d && x != INF_DIST)
+                .count()
+        })
         .collect();
     println!("  entities per hop: {per_hop:?}");
 

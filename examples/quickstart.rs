@@ -28,9 +28,16 @@ fn main() {
     // --- BFS ---------------------------------------------------------
     let out = bfs(&g, 0, &cfg);
     println!("\nasynchronous BFS from vertex 0 ({threads} threads):");
-    println!("  reached      : {} ({:.1}%)", out.reached_count(), out.visited_fraction() * 100.0);
+    println!(
+        "  reached      : {} ({:.1}%)",
+        out.reached_count(),
+        out.visited_fraction() * 100.0
+    );
     println!("  levels       : {}", out.level_count());
-    println!("  visitors     : {} executed / {} vertices relaxed", out.stats.visitors_executed, out.stats.relaxations);
+    println!(
+        "  visitors     : {} executed / {} vertices relaxed",
+        out.stats.visitors_executed, out.stats.relaxations
+    );
     println!("  elapsed      : {:?}", out.stats.elapsed);
 
     // --- SSSP --------------------------------------------------------
@@ -39,10 +46,17 @@ fn main() {
     let out = sssp(&wg, 0, &cfg);
     println!("\nasynchronous SSSP (uniform weights):");
     println!("  reached      : {}", out.reached_count());
-    println!("  revisit cost : {:.2} visits per relaxation", out.revisit_factor());
+    println!(
+        "  revisit cost : {:.2} visits per relaxation",
+        out.revisit_factor()
+    );
     println!("  elapsed      : {:?}", out.stats.elapsed);
     if let Some(path) = out.path_to(g.num_vertices() - 1) {
-        println!("  sample path to last vertex: {} hops, length {}", path.len() - 1, out.dist[path.last().copied().unwrap() as usize]);
+        println!(
+            "  sample path to last vertex: {} hops, length {}",
+            path.len() - 1,
+            out.dist[path.last().copied().unwrap() as usize]
+        );
     }
 
     // --- CC ----------------------------------------------------------

@@ -61,11 +61,18 @@ fn main() {
 
     println!("building {rows}x{cols} road network with highways …");
     let g = build_road_network(rows, cols, rows.max(cols));
-    println!("  {} intersections, {} road segments", g.num_vertices(), g.num_edges());
+    println!(
+        "  {} intersections, {} road segments",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let depot = 0;
     let out = sssp(&g, depot, &Config::with_threads(threads));
-    println!("\nasync SSSP from depot (vertex {depot}), {threads} threads: {:?}", out.stats.elapsed);
+    println!(
+        "\nasync SSSP from depot (vertex {depot}), {threads} threads: {:?}",
+        out.stats.elapsed
+    );
 
     // Cross-check against serial Dijkstra.
     let reference = serial::dijkstra(&g, depot);
@@ -74,9 +81,9 @@ fn main() {
 
     println!("\nsample routes:");
     for dest in [
-        cols - 1,                  // far corner of first street
-        (rows - 1) * cols,         // bottom-left
-        rows * cols - 1,           // opposite corner
+        cols - 1,                     // far corner of first street
+        (rows - 1) * cols,            // bottom-left
+        rows * cols - 1,              // opposite corner
         (rows / 2) * cols + cols / 2, // city center
     ] {
         match out.path_to(dest) {

@@ -8,10 +8,10 @@
 //! ```
 
 use asyncgt::graph::generators::{RmatGenerator, RmatParams};
-use asyncgt::graph::Graph;
+use asyncgt::obs::{render_summary, ShardedRecorder};
 use asyncgt::storage::reader::SemConfig;
 use asyncgt::storage::{write_sem_graph, DeviceModel, SemGraph, SimulatedFlash};
-use asyncgt::{bfs, Config};
+use asyncgt::{bfs, bfs_recorded, Config};
 use asyncgt_baselines::serial;
 use asyncgt_examples::arg;
 use std::sync::Arc;
@@ -42,7 +42,11 @@ fn main() {
     };
     println!("\nin-memory serial BFS (BGL baseline): {t_im:?}");
 
-    for model in DeviceModel::paper_configs() {
+    for (i, model) in DeviceModel::paper_configs().into_iter().enumerate() {
+        // Instrument the first device end-to-end: the recorder doubles as
+        // the storage layer's MetricSink, so one snapshot holds traversal
+        // counters AND the SEM read-latency histogram.
+        let recorder = (i == 0).then(|| Arc::new(ShardedRecorder::new(threads)));
         let device = Arc::new(SimulatedFlash::new(model));
         let sem = SemGraph::open_with(
             &path,
@@ -50,11 +54,15 @@ fn main() {
                 block_size: 64 * 1024,
                 cache_blocks: 512,
                 device: Some(device.clone()),
+                metrics: recorder.clone().map(|r| r as _),
             },
         )
         .expect("open SEM graph");
 
-        let out = bfs(&sem, 0, &Config::with_threads(threads));
+        let out = match &recorder {
+            Some(r) => bfs_recorded(&sem, 0, &Config::with_threads(threads), r.as_ref()),
+            None => bfs(&sem, 0, &Config::with_threads(threads)),
+        };
         assert_eq!(out.dist, im.dist, "SEM result must match in-memory");
         let io = sem.io_stats();
         println!(
@@ -74,6 +82,12 @@ fn main() {
             "  speedup vs in-memory serial BGL: {:.2}x",
             t_im.as_secs_f64() / out.stats.elapsed.as_secs_f64()
         );
+
+        if let Some(r) = &recorder {
+            let mut snap = r.snapshot();
+            snap.io = Some(io.into());
+            println!("\n{}", render_summary(&snap));
+        }
     }
 
     std::fs::remove_file(&path).ok();

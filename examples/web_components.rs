@@ -20,7 +20,11 @@ fn main() {
 
     println!("generating sk-2005-like web graph with {pages} pages …");
     let g = webgraph_like(&WebGraphParams::sk2005_like(pages, 2005));
-    println!("  {} pages, {} undirected link arcs", g.num_vertices(), g.num_edges());
+    println!(
+        "  {} pages, {} undirected link arcs",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     let deg = stats::degree_stats(&g);
     println!(

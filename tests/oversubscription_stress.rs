@@ -70,9 +70,8 @@ fn panic_at_high_thread_count_does_not_hang() {
             }
         }
     }
-    let result = std::panic::catch_unwind(|| {
-        VisitorQueue::run(&VqConfig::with_threads(128), &Bomb, [V(0)])
-    });
+    let result =
+        std::panic::catch_unwind(|| VisitorQueue::run(&VqConfig::with_threads(128), &Bomb, [V(0)]));
     assert!(result.is_err());
 }
 

@@ -77,7 +77,10 @@ fn bfs_stats_columns_are_consistent() {
     assert!(reached > 0);
     assert!(out.level_count() <= reached);
     assert!(out.visited_fraction() <= 1.0);
-    assert!(out.stats.relaxations >= reached, "each reached vertex relaxed ≥ once");
+    assert!(
+        out.stats.relaxations >= reached,
+        "each reached vertex relaxed ≥ once"
+    );
     assert_eq!(
         out.stats.visitors_pushed, out.stats.visitors_executed,
         "at termination every pushed visitor has executed"

@@ -11,28 +11,31 @@ use proptest::prelude::*;
 
 /// Strategy: a directed weighted graph with 2–120 vertices and 0–500 edges.
 fn arb_graph() -> impl Strategy<Value = CsrGraph<u32>> {
-    (2u64..120, proptest::collection::vec((0u64..120, 0u64..120, 0u32..64), 0..500)).prop_map(
-        |(n, raw)| {
-            let edges: WeightedEdgeList = raw
-                .into_iter()
-                .map(|(s, t, w)| (s % n, t % n, w))
-                .collect();
-            GraphBuilder::from_edges(n, edges, true).dedup().build()
-        },
+    (
+        2u64..120,
+        proptest::collection::vec((0u64..120, 0u64..120, 0u32..64), 0..500),
     )
+        .prop_map(|(n, raw)| {
+            let edges: WeightedEdgeList =
+                raw.into_iter().map(|(s, t, w)| (s % n, t % n, w)).collect();
+            GraphBuilder::from_edges(n, edges, true).dedup().build()
+        })
 }
 
 /// Strategy: an undirected graph (symmetrized), 2–120 vertices.
 fn arb_undirected() -> impl Strategy<Value = CsrGraph<u32>> {
-    (2u64..120, proptest::collection::vec((0u64..120, 0u64..120), 0..300)).prop_map(|(n, raw)| {
-        let edges: WeightedEdgeList =
-            raw.into_iter().map(|(s, t)| (s % n, t % n, 1)).collect();
-        GraphBuilder::from_edges(n, edges, false)
-            .remove_self_loops()
-            .symmetrize()
-            .dedup()
-            .build()
-    })
+    (
+        2u64..120,
+        proptest::collection::vec((0u64..120, 0u64..120), 0..300),
+    )
+        .prop_map(|(n, raw)| {
+            let edges: WeightedEdgeList = raw.into_iter().map(|(s, t)| (s % n, t % n, 1)).collect();
+            GraphBuilder::from_edges(n, edges, false)
+                .remove_self_loops()
+                .symmetrize()
+                .dedup()
+                .build()
+        })
 }
 
 proptest! {
@@ -70,7 +73,13 @@ proptest! {
         let base = sssp(&g, src, &Config::with_threads(4));
         let pruned = sssp(&g, src, &Config::with_threads(4).with_pruning());
         prop_assert_eq!(&base.dist, &pruned.dist);
-        prop_assert!(pruned.stats.visitors_pushed <= base.stats.visitors_pushed);
+        // The push-count comparison needs a deterministic schedule: with
+        // multiple threads either run can race into a luckier visit order
+        // and push fewer visitors regardless of pruning.
+        let base1 = sssp(&g, src, &Config::with_threads(1));
+        let pruned1 = sssp(&g, src, &Config::with_threads(1).with_pruning());
+        prop_assert_eq!(&base1.dist, &pruned1.dist);
+        prop_assert!(pruned1.stats.visitors_pushed <= base1.stats.visitors_pushed);
     }
 
     #[test]

@@ -27,6 +27,7 @@ fn sem_bfs_equals_in_memory_across_block_sizes() {
                     block_size,
                     cache_blocks,
                     device: None,
+                    metrics: None,
                 },
             )
             .unwrap();
@@ -92,6 +93,7 @@ fn sem_through_simulated_devices_matches() {
                 block_size: 8192,
                 cache_blocks: 64,
                 device: Some(device.clone()),
+                metrics: None,
             },
         )
         .unwrap();

@@ -10,7 +10,6 @@ use asyncgt_graph::generators::{
     RmatParams,
 };
 use asyncgt_graph::weights::{weighted_copy, WeightKind};
-use asyncgt_graph::Graph;
 use asyncgt_integration_tests::{random_graph, random_undirected};
 
 const THREADS: &[usize] = &[1, 3, 8, 32];
@@ -100,10 +99,7 @@ fn degenerate_structures() {
     assert_eq!(bfs(&chain, 0, &cfg).dist, serial::bfs(&chain, 0).dist);
     // Star (extreme hub).
     let star = star_graph(1000);
-    assert_eq!(
-        connected_components(&star, &cfg).component_count(),
-        1
-    );
+    assert_eq!(connected_components(&star, &cfg).component_count(), 1);
     // Complete graph (every pair adjacent).
     let k = complete_graph(64);
     let out = bfs(&k, 5, &cfg);

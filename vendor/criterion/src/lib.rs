@@ -1,0 +1,241 @@
+//! Offline stub of the `criterion` 0.5 API surface this workspace uses
+//! (see `vendor/README.md`).
+//!
+//! Each benchmark runs a short warmup, then timed batches until the
+//! group's `measurement_time` (or `sample_size` batches) is spent, and
+//! prints mean / median / min per iteration. No statistical regression
+//! analysis, plots, or saved baselines — compare runs by diffing the
+//! printed numbers (the workspace records them into BENCH_*.json
+//! trajectories instead).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to the functions in `criterion_group!`.
+pub struct Criterion {
+    /// Substring filter from argv (``cargo bench -- <filter>``).
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` argv: [bin, --bench, <filter>?]; keep the first
+        // free-standing token as a substring filter like criterion does.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement_time: Duration::from_secs(3),
+            sample_size: 50,
+        }
+    }
+
+    /// Run a stand-alone benchmark with default settings.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let skip = self.filter.as_deref().is_some_and(|flt| !id.contains(flt));
+        if !skip {
+            run_benchmark(&id, Duration::from_secs(3), 50, f);
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Total time budget for each benchmark's measurement phase.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Number of timed samples to collect (each sample is one or more
+    /// iterations).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        let skip = self
+            .criterion
+            .filter
+            .as_deref()
+            .is_some_and(|flt| !full.contains(flt));
+        if !skip {
+            run_benchmark(&full, self.measurement_time, self.sample_size, f);
+        }
+        self
+    }
+
+    /// End the group (prints nothing extra; provided for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Iterations to run in this sample.
+    iters: u64,
+    /// Measured time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `f`.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    id: &str,
+    measurement_time: Duration,
+    sample_size: usize,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Calibration: single iteration to size samples.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+
+    // Aim for `sample_size` samples inside the time budget, each sample
+    // batching enough iterations to dominate timer overhead.
+    let budget_per_sample = measurement_time
+        .checked_div(sample_size as u32)
+        .unwrap_or(Duration::from_millis(10));
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    let mut per_iter_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    let deadline = Instant::now() + measurement_time;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+
+    per_iter_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let min = per_iter_ns.first().copied().unwrap_or(0.0);
+    let median = per_iter_ns[per_iter_ns.len() / 2];
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    println!(
+        "{id:<50} time: [min {} median {} mean {}]  ({} samples x {} iters)",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(mean),
+        per_iter_ns.len(),
+        iters_per_sample,
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+        });
+        assert_eq!(count, 100);
+        assert!(b.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn group_runs_benchmark_quickly() {
+        let mut c = Criterion { filter: None };
+        let mut ran = 0u32;
+        let mut g = c.benchmark_group("stub_test");
+        g.measurement_time(Duration::from_millis(20)).sample_size(3);
+        g.bench_function("noop", |b| {
+            ran += 1;
+            b.iter(|| 1 + 1)
+        });
+        g.finish();
+        assert!(ran >= 1, "benchmark closure must run");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("nomatch_xyz".into()),
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            ran = true;
+            b.iter(|| ())
+        });
+        assert!(!ran, "filtered benchmark must not run");
+    }
+}

@@ -1,0 +1,296 @@
+//! Offline stub of the `rand` 0.8 API surface this workspace uses (see
+//! `vendor/README.md`).
+//!
+//! The generator is **xoshiro256++** seeded through splitmix64 — a
+//! different stream than the real `rand::rngs::SmallRng`, but the workspace
+//! only requires determinism-per-seed and statistical quality, never a
+//! specific stream (all tests compare against internally computed
+//! baselines on the same generated input).
+//!
+//! Implemented surface: `SeedableRng::seed_from_u64`, `Rng::{gen,
+//! gen_range, gen_bool, next_u64, next_u32, fill}`, integer/float ranges
+//! (half-open and inclusive), `rngs::{SmallRng, StdRng}`.
+
+/// Construction of a generator from seed material. Only the `u64` entry
+/// point the workspace uses is provided.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a deterministic function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core entropy source: everything else in [`Rng`] derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of a [`Standard`]-distributed type (`f64` in `[0,1)`,
+    /// full-range integers, fair `bool`).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Sample uniformly from a range (half-open or inclusive). As in the
+    /// real crate, the element type is a separate parameter so it can be
+    /// inferred from the call site's expected type.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// If `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        // Compare against 53 random mantissa bits, exact for p in {0,1}.
+        f64_from_bits53(self.next_u64()) < p
+    }
+
+    /// Fill a byte slice with random data.
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Uniform `f64` in `[0, 1)` from the top 53 bits of a random word.
+#[inline]
+fn f64_from_bits53(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable by [`Rng::gen`] (the real crate's `Standard`
+/// distribution).
+pub trait SampleStandard {
+    /// Draw one standard-distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        f64_from_bits53(rng.next_u64())
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`], producing elements of type `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniform value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased integer draw in `[0, span)` via 128-bit widening multiply
+/// with rejection (Lemire's method).
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Threshold for the biased low zone: 2^64 mod span.
+    let zone = span.wrapping_neg() % span;
+    loop {
+        let wide = (rng.next_u64() as u128) * (span as u128);
+        if (wide as u64) >= zone {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                // i128 math handles signed spans and avoids overflow at
+                // the extremes of every integer width up to 64 bits.
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + uniform_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, u32, u16, u8, usize, i64, i32, i16, i8, isize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + f64_from_bits53(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, statistically solid; the stand-in for
+    /// the real crate's `SmallRng`.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    /// splitmix64 step, used to expand a 64-bit seed into generator state.
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // All-zero state would be a fixed point; splitmix64 cannot
+            // produce four zeros from any seed, but guard anyway.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias: the workspace never relies on `StdRng`'s cryptographic
+    /// stream, so the same generator serves both names.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn gen_range_bounds_and_coverage() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(5..15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+        for _ in 0..100 {
+            let v: u32 = rng.gen_range(3..=3);
+            assert_eq!(v, 3);
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "p=0.25 gave {hits}/10000");
+    }
+
+    #[test]
+    fn uniformity_rough_chi_square() {
+        // 16 cells, 16k draws: expect ~1000 per cell; loose 3-sigma bound.
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut cells = [0u32; 16];
+        for _ in 0..16_000 {
+            cells[rng.gen_range(0usize..16)] += 1;
+        }
+        for (i, &c) in cells.iter().enumerate() {
+            assert!((850..1150).contains(&c), "cell {i} count {c}");
+        }
+    }
+}
