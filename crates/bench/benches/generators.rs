@@ -74,6 +74,7 @@ fn bench_sem_io(c: &mut Criterion) {
                 cache_blocks: 0,
                 device: None,
                 metrics: None,
+                ..SemConfig::default()
             },
         )
         .unwrap();

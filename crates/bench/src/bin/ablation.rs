@@ -167,6 +167,7 @@ fn semisort() {
                 cache_blocks,
                 device: None,
                 metrics: None,
+                ..SemConfig::default()
             },
         );
         let (out, dt) = time(|| bfs(&sem, 0, &Config::with_threads(64)));
@@ -211,6 +212,7 @@ fn relabel() {
                 cache_blocks: 16, // tiny cache: locality has to earn hits
                 device: None,
                 metrics: None,
+                ..SemConfig::default()
             },
         );
         let (out, dt) = time(|| bfs(&sem, 0, &Config::with_threads(64)));

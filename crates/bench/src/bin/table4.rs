@@ -82,6 +82,7 @@ fn main() {
                     cache_blocks,
                     device: Some(dev),
                     metrics: None,
+                    ..SemConfig::default()
                 };
 
                 // Serial SEM: one outstanding request at a time.
@@ -131,6 +132,7 @@ fn main() {
                 cache_blocks,
                 device: Some(Arc::new(SimulatedFlash::new(model))),
                 metrics: Some(rec.clone() as _),
+                ..SemConfig::default()
             },
         );
         let _ = bfs_recorded(

@@ -55,6 +55,7 @@ fn run_one(
             cache_blocks,
             device: Some(dev),
             metrics: None,
+            ..SemConfig::default()
         };
 
         let dev = Arc::new(SimulatedFlash::new(model));

@@ -24,6 +24,11 @@ const VALUED: &[&str] = &[
     "--block-kb",
     "--cache-blocks",
     "--metrics-json",
+    "--fault-seed",
+    "--fault-rate",
+    "--retry-attempts",
+    "--retry-backoff-us",
+    "--retry-deadline-ms",
     "-o",
 ];
 

@@ -5,15 +5,54 @@ use asyncgt::graph::generators::{webgraph_edges, RmatGenerator, RmatParams, WebG
 use asyncgt::graph::traits::WeightedEdgeList;
 use asyncgt::graph::weights::{assign_weights, WeightKind};
 use asyncgt::graph::{io, stats, CsrGraph, Graph, GraphBuilder};
+use asyncgt::obs::NoopRecorder;
 use asyncgt::obs::{render_summary, ShardedRecorder};
 use asyncgt::storage::reader::SemConfig;
-use asyncgt::storage::{write_sem_graph, DeviceModel, SemGraph, SimulatedFlash};
+use asyncgt::storage::{
+    write_sem_graph, DeviceModel, FaultPlan, FaultyDevice, RetryPolicy, SemGraph, SimulatedFlash,
+};
 use asyncgt::{
-    bfs, bfs_recorded, connected_components, connected_components_recorded, sssp, sssp_recorded,
-    Config,
+    try_bfs_recorded, try_connected_components_recorded, try_sssp_recorded, Config, TraversalError,
 };
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A CLI failure, classified for exit handling: usage errors get the USAGE
+/// text appended by `main`, runtime errors (I/O, storage, validation) print
+/// as a one-line diagnostic only.
+#[derive(Debug)]
+pub enum CliError {
+    /// The invocation itself was malformed (bad flag, missing argument).
+    Usage(String),
+    /// The invocation was fine but the operation failed.
+    Runtime(String),
+}
+
+impl From<String> for CliError {
+    /// Bare-string errors come from argument parsing; classify as usage.
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Usage(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(m) | CliError::Runtime(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+/// Shorthand for runtime-classified failures.
+fn rt(msg: String) -> CliError {
+    CliError::Runtime(msg)
+}
 
 /// Top-level usage text.
 pub const USAGE: &str = "usage:
@@ -34,10 +73,19 @@ pub const USAGE: &str = "usage:
 OUT extension picks the format: .agt (SEM CSR), .txt (text edge list),
 anything else (binary edge list). MODEL: fusionio | intel | corsair.
 --metrics prints a per-worker counter/histogram summary; --metrics-json
-writes the versioned MetricsSnapshot JSON (implies collection).";
+writes the versioned MetricsSnapshot JSON (implies collection).
+
+storage fault injection & retry (traversal subcommands):
+  --fault-rate P        inject faults on fraction P of block reads (0 off)
+  --fault-seed S        deterministic fault schedule seed (default 1)
+  --fault-permanent     injected faults are permanent (default: transient)
+  --retry-attempts N    attempts per block read, first included (default 4)
+  --retry-backoff-us U  base backoff before first retry (default 50)
+  --retry-deadline-ms M wall-clock retry budget per read (default 1000)
+  --no-verify-checksums skip per-chunk checksum verification on reads";
 
 /// Dispatch a full argv to its subcommand.
-pub fn dispatch(argv: &[String]) -> Result<(), String> {
+pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
     let (cmd, rest) = argv.split_first().ok_or("missing subcommand")?;
     let args = Args::parse(rest)?;
     match cmd.as_str() {
@@ -52,11 +100,11 @@ pub fn dispatch(argv: &[String]) -> Result<(), String> {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown subcommand {other:?}")),
+        other => Err(CliError::Usage(format!("unknown subcommand {other:?}"))),
     }
 }
 
-fn generate(args: &Args) -> Result<(), String> {
+fn generate(args: &Args) -> Result<(), CliError> {
     let kind = args
         .pos(0)
         .ok_or("generate: missing generator (rmat|web)")?;
@@ -73,7 +121,7 @@ fn generate(args: &Args) -> Result<(), String> {
             let params = match args.get("--variant").unwrap_or("a") {
                 "a" | "A" => RmatParams::RMAT_A,
                 "b" | "B" => RmatParams::RMAT_B,
-                v => return Err(format!("unknown RMAT variant {v:?} (a|b)")),
+                v => return Err(format!("unknown RMAT variant {v:?} (a|b)").into()),
             };
             let gen = RmatGenerator::new(params, scale, ef, seed);
             (gen.num_vertices(), gen.edges())
@@ -86,11 +134,11 @@ fn generate(args: &Args) -> Result<(), String> {
                 "webbase" => WebGraphParams::webbase_like(pages, seed),
                 "it2004" => WebGraphParams::it2004_like(pages, seed),
                 "clueweb" => WebGraphParams::clueweb_like(pages, seed),
-                v => return Err(format!("unknown web model {v:?}")),
+                v => return Err(format!("unknown web model {v:?}").into()),
             };
             (pages, webgraph_edges(&params))
         }
-        other => return Err(format!("unknown generator {other:?} (rmat|web)")),
+        other => return Err(format!("unknown generator {other:?} (rmat|web)").into()),
     };
 
     let weighted = match args.get("--weights") {
@@ -108,7 +156,7 @@ fn generate(args: &Args) -> Result<(), String> {
             );
             true
         }
-        Some(v) => return Err(format!("unknown weight kind {v:?} (uw|luw)")),
+        Some(v) => return Err(format!("unknown weight kind {v:?} (uw|luw)").into()),
     };
 
     let mut builder = GraphBuilder::from_edges(num_vertices, edges, weighted);
@@ -121,10 +169,10 @@ fn generate(args: &Args) -> Result<(), String> {
 }
 
 /// Write a built graph / its edge list in the format `path` implies.
-fn write_graph_as(path: &str, builder: GraphBuilder, weighted: bool) -> Result<(), String> {
+fn write_graph_as(path: &str, builder: GraphBuilder, weighted: bool) -> Result<(), CliError> {
     if path.ends_with(".agt") {
         let g: CsrGraph<u32> = builder.build();
-        write_sem_graph(path, &g).map_err(|e| format!("write {path}: {e}"))?;
+        write_sem_graph(path, &g).map_err(|e| rt(format!("write {path}: {e}")))?;
         return Ok(());
     }
     // Re-extract the edge list from a built CSR for deterministic order.
@@ -133,46 +181,49 @@ fn write_graph_as(path: &str, builder: GraphBuilder, weighted: bool) -> Result<(
     for v in 0..g.num_vertices() {
         g.for_each_neighbor(v, |t, w| edges.push((v, t, w)));
     }
-    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    let file = std::fs::File::create(path).map_err(|e| rt(format!("create {path}: {e}")))?;
     let res = if path.ends_with(".txt") {
         io::write_text(file, g.num_vertices(), &edges, weighted)
     } else {
         io::write_binary(file, g.num_vertices(), &edges, weighted)
     };
-    res.map_err(|e| format!("write {path}: {e}"))
+    res.map_err(|e| rt(format!("write {path}: {e}")))
 }
 
-fn read_edge_list(path: &str) -> Result<(io::EdgeListHeader, WeightedEdgeList), String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+fn read_edge_list(path: &str) -> Result<(io::EdgeListHeader, WeightedEdgeList), CliError> {
+    let file = std::fs::File::open(path).map_err(|e| rt(format!("open {path}: {e}")))?;
     let res = if path.ends_with(".txt") {
         io::read_text(file)
     } else {
         io::read_binary(file)
     };
-    res.map_err(|e| format!("read {path}: {e}"))
+    res.map_err(|e| rt(format!("read {path}: {e}")))
 }
 
-fn convert(args: &Args) -> Result<(), String> {
+fn convert(args: &Args) -> Result<(), CliError> {
     if args.pos_len() != 2 {
         return Err("convert: need IN and OUT paths".into());
     }
     let (input, output) = (args.pos(0).unwrap(), args.pos(1).unwrap());
 
     if input.ends_with(".agt") {
-        // SEM CSR -> edge list.
-        let sem = SemGraph::open(input).map_err(|e| format!("open {input}: {e}"))?;
+        // SEM CSR -> edge list, through the fallible read path so a
+        // truncated or corrupt file surfaces as a diagnostic, not a panic.
+        let sem = SemGraph::open(input).map_err(|e| rt(format!("open {input}: {e}")))?;
         let weighted = sem.is_weighted();
         let mut edges: WeightedEdgeList = Vec::with_capacity(sem.num_edges() as usize);
         for v in 0..sem.num_vertices() {
-            sem.for_each_neighbor(v, |t, w| edges.push((v, t, w)));
+            sem.try_for_each_neighbor(v, |t, w| edges.push((v, t, w)))
+                .map_err(|e| rt(format!("read {input}: {e}")))?;
         }
-        let file = std::fs::File::create(output).map_err(|e| format!("create {output}: {e}"))?;
+        let file =
+            std::fs::File::create(output).map_err(|e| rt(format!("create {output}: {e}")))?;
         let res = if output.ends_with(".txt") {
             io::write_text(file, sem.num_vertices(), &edges, weighted)
         } else {
             io::write_binary(file, sem.num_vertices(), &edges, weighted)
         };
-        res.map_err(|e| format!("write {output}: {e}"))?;
+        res.map_err(|e| rt(format!("write {output}: {e}")))?;
     } else {
         // Edge list -> any format.
         let (hdr, edges) = read_edge_list(input)?;
@@ -183,9 +234,9 @@ fn convert(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn info(args: &Args) -> Result<(), String> {
+fn info(args: &Args) -> Result<(), CliError> {
     let path = args.pos(0).ok_or("info: missing FILE.agt")?;
-    let sem = SemGraph::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    let sem = SemGraph::open(path).map_err(|e| rt(format!("open {path}: {e}")))?;
     let h = sem.header();
     println!("file            : {path}");
     println!("vertices        : {}", h.num_vertices);
@@ -204,28 +255,55 @@ fn info(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn open_sem(args: &Args, path: &str) -> Result<SemGraph, String> {
+/// Build the SEM open configuration shared by the storage-backed
+/// subcommands: block/cache geometry, optional simulated device, fault
+/// injection, and the retry policy, all from command-line flags.
+fn sem_config(args: &Args, metrics: Option<Arc<ShardedRecorder>>) -> Result<SemConfig, CliError> {
     let device = match args.get("--device") {
         None => None,
         Some("fusionio") => Some(DeviceModel::fusion_io()),
         Some("intel") => Some(DeviceModel::intel_x25m()),
         Some("corsair") => Some(DeviceModel::corsair_p128()),
-        Some(v) => return Err(format!("unknown device {v:?}")),
+        Some(v) => return Err(format!("unknown device {v:?}").into()),
     };
-    let sem_cfg = SemConfig {
+    let fault_rate = args.get_parsed("--fault-rate", 0.0f64)?;
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate {fault_rate} not in [0, 1]").into());
+    }
+    let fault_seed = args.get_parsed("--fault-seed", 1u64)?;
+    let faults = (fault_rate > 0.0).then(|| {
+        let plan = if args.has("fault-permanent") {
+            FaultPlan::permanent(fault_seed, fault_rate)
+        } else {
+            FaultPlan::transient(fault_seed, fault_rate)
+        };
+        Arc::new(FaultyDevice::new(plan))
+    });
+    let retry = RetryPolicy {
+        max_attempts: args.get_parsed("--retry-attempts", 4u32)?,
+        base_backoff: Duration::from_micros(args.get_parsed("--retry-backoff-us", 50u64)?),
+        deadline: Duration::from_millis(args.get_parsed("--retry-deadline-ms", 1000u64)?),
+        ..RetryPolicy::default()
+    };
+    Ok(SemConfig {
         block_size: args.get_parsed("--block-kb", 64usize)? * 1024,
         cache_blocks: args.get_parsed("--cache-blocks", 4096usize)?,
         device: device.map(|m| Arc::new(SimulatedFlash::new(m))),
-        metrics: None,
-    };
-    SemGraph::open_with(path, sem_cfg).map_err(|e| format!("open {path}: {e}"))
+        // The recorder doubles as the storage metrics sink, so one
+        // snapshot carries traversal counters and I/O latencies.
+        metrics: metrics.map(|r| r as _),
+        retry,
+        faults,
+        verify_checksums: !args.has("no-verify-checksums"),
+    })
 }
 
-fn cmd_pagerank(args: &Args) -> Result<(), String> {
+fn cmd_pagerank(args: &Args) -> Result<(), CliError> {
     use asyncgt::{pagerank, PageRankParams};
     let path = args.pos(0).ok_or("missing FILE.agt")?;
     let threads = args.get_parsed("--threads", 16usize)?;
-    let sem = open_sem(args, path)?;
+    let sem = SemGraph::open_with(path, sem_config(args, None)?)
+        .map_err(|e| rt(format!("open {path}: {e}")))?;
     let t = Instant::now();
     let out = pagerank(
         &sem,
@@ -248,7 +326,12 @@ enum Algo {
     Cc,
 }
 
-fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
+/// Render a traversal abort as the CLI's one-line runtime diagnostic.
+fn traversal_failed(path: &str, e: TraversalError) -> CliError {
+    rt(format!("{path}: {e}"))
+}
+
+fn traverse(args: &Args, algo: Algo) -> Result<(), CliError> {
     let path = args.pos(0).ok_or("missing FILE.agt")?;
     let threads = args.get_parsed("--threads", 16usize)?;
     let source = args.get_parsed("--source", 0u64)?;
@@ -256,33 +339,20 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
     let want_metrics = args.has("metrics") || metrics_json.is_some();
     let recorder = want_metrics.then(|| Arc::new(ShardedRecorder::new(threads)));
 
-    let device = match args.get("--device") {
-        None => None,
-        Some("fusionio") => Some(DeviceModel::fusion_io()),
-        Some("intel") => Some(DeviceModel::intel_x25m()),
-        Some("corsair") => Some(DeviceModel::corsair_p128()),
-        Some(v) => return Err(format!("unknown device {v:?}")),
-    };
-    let sem_cfg = SemConfig {
-        block_size: args.get_parsed("--block-kb", 64usize)? * 1024,
-        cache_blocks: args.get_parsed("--cache-blocks", 4096usize)?,
-        device: device.map(|m| Arc::new(SimulatedFlash::new(m))),
-        // The recorder doubles as the storage metrics sink, so one
-        // snapshot carries traversal counters and I/O latencies.
-        metrics: recorder.clone().map(|r| r as _),
-    };
-    let sem = SemGraph::open_with(path, sem_cfg).map_err(|e| format!("open {path}: {e}"))?;
+    let sem_cfg = sem_config(args, recorder.clone())?;
+    let sem = SemGraph::open_with(path, sem_cfg).map_err(|e| rt(format!("open {path}: {e}")))?;
     let cfg = Config::with_threads(threads);
 
     let t = Instant::now();
     let run_stats = match algo {
         Algo::Bfs | Algo::Sssp => {
             let out = match (&algo, &recorder) {
-                (Algo::Bfs, Some(r)) => bfs_recorded(&sem, source, &cfg, r.as_ref()),
-                (Algo::Bfs, None) => bfs(&sem, source, &cfg),
-                (_, Some(r)) => sssp_recorded(&sem, source, &cfg, r.as_ref()),
-                (_, None) => sssp(&sem, source, &cfg),
-            };
+                (Algo::Bfs, Some(r)) => try_bfs_recorded(&sem, source, &cfg, r.as_ref()),
+                (Algo::Bfs, None) => try_bfs_recorded(&sem, source, &cfg, &NoopRecorder),
+                (_, Some(r)) => try_sssp_recorded(&sem, source, &cfg, r.as_ref()),
+                (_, None) => try_sssp_recorded(&sem, source, &cfg, &NoopRecorder),
+            }
+            .map_err(|e| traversal_failed(path, e))?;
             println!("elapsed         : {:?}", t.elapsed());
             println!(
                 "reached         : {} ({:.1}%)",
@@ -298,16 +368,17 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
             if args.has("validate") {
                 let unit = matches!(algo, Algo::Bfs);
                 asyncgt::validate::check_shortest_paths(&sem, source, &out, unit)
-                    .map_err(|e| format!("validation failed: {e}"))?;
+                    .map_err(|e| rt(format!("validation failed: {e}")))?;
                 println!("validation      : ok");
             }
             out.stats
         }
         Algo::Cc => {
             let out = match &recorder {
-                Some(r) => connected_components_recorded(&sem, &cfg, r.as_ref()),
-                None => connected_components(&sem, &cfg),
-            };
+                Some(r) => try_connected_components_recorded(&sem, &cfg, r.as_ref()),
+                None => try_connected_components_recorded(&sem, &cfg, &NoopRecorder),
+            }
+            .map_err(|e| traversal_failed(path, e))?;
             println!("elapsed         : {:?}", t.elapsed());
             println!("components      : {}", out.component_count());
             println!(
@@ -317,7 +388,7 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
             println!("visitors        : {} executed", out.stats.visitors_executed);
             if args.has("validate") {
                 asyncgt::validate::check_components(&sem, &out.ccid)
-                    .map_err(|e| format!("validation failed: {e}"))?;
+                    .map_err(|e| rt(format!("validation failed: {e}")))?;
                 println!("validation      : ok");
             }
             out.stats
@@ -337,6 +408,12 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
         io_stats.cache_misses,
         io_stats.bytes_read as f64 / 1e6
     );
+    if io_stats.retries > 0 || io_stats.faults_fatal > 0 {
+        println!(
+            "faults          : {} retries, {} absorbed, {} fatal",
+            io_stats.retries, io_stats.faults_absorbed, io_stats.faults_fatal
+        );
+    }
 
     if let Some(rec) = &recorder {
         let mut snap = rec.snapshot();
@@ -346,7 +423,7 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
         }
         if let Some(out_path) = &metrics_json {
             std::fs::write(out_path, snap.to_json_string())
-                .map_err(|e| format!("write {out_path}: {e}"))?;
+                .map_err(|e| rt(format!("write {out_path}: {e}")))?;
             println!("metrics json    : {out_path}");
         }
     }
@@ -357,7 +434,7 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn run(line: &str) -> Result<(), String> {
+    fn run(line: &str) -> Result<(), CliError> {
         let argv: Vec<String> = line.split_whitespace().map(String::from).collect();
         dispatch(&argv)
     }
@@ -450,5 +527,58 @@ mod tests {
         assert!(run("generate web --like nope -o x.agt").is_err());
         assert!(run("bfs missing_file.agt").is_err());
         assert!(run("convert only_one_arg").is_err());
+    }
+
+    #[test]
+    fn errors_are_classified_for_exit_handling() {
+        // Malformed invocation → usage (main appends the USAGE text).
+        assert!(matches!(
+            run("generate rmat --variant z -o x.agt"),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(run("frobnicate"), Err(CliError::Usage(_))));
+        // Well-formed invocation hitting a missing file → runtime.
+        assert!(matches!(
+            run("bfs missing_file.agt"),
+            Err(CliError::Runtime(_))
+        ));
+        assert!(matches!(
+            run("bfs x.agt --fault-rate 1.5"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn transient_faults_with_retries_still_succeed() {
+        let agt = tmp("cli_fault_ok.agt");
+        run(&format!("generate rmat --scale 8 -o {agt}")).unwrap();
+        // Every block read faults on first attempt; the retry budget
+        // absorbs them all and the traversal completes with validation.
+        run(&format!(
+            "bfs {agt} --threads 4 --block-kb 8 --fault-rate 1.0 \
+             --fault-seed 7 --retry-backoff-us 1 --validate"
+        ))
+        .unwrap();
+        run(&format!(
+            "sssp {agt} --threads 4 --block-kb 8 --fault-rate 0.5 --retry-backoff-us 1"
+        ))
+        .unwrap();
+    }
+
+    #[test]
+    fn permanent_faults_fail_with_runtime_diagnostic() {
+        let agt = tmp("cli_fault_fatal.agt");
+        run(&format!("generate rmat --scale 8 -o {agt}")).unwrap();
+        let err = run(&format!(
+            "bfs {agt} --threads 4 --block-kb 8 --fault-rate 1.0 --fault-permanent"
+        ))
+        .unwrap_err();
+        match err {
+            CliError::Runtime(msg) => {
+                assert!(msg.contains("storage"), "diagnostic names storage: {msg}");
+                assert!(!msg.contains('\n'), "diagnostic is one line: {msg}");
+            }
+            CliError::Usage(msg) => panic!("misclassified as usage: {msg}"),
+        }
     }
 }

@@ -24,10 +24,17 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match commands::dispatch(&argv) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        // Malformed invocation: diagnostic plus the usage text.
+        Err(commands::CliError::Usage(e)) => {
             eprintln!("agt: {e}");
             eprintln!();
             eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+        // Operational failure (I/O, storage fault, failed validation):
+        // a single-line diagnostic, no usage spam.
+        Err(commands::CliError::Runtime(e)) => {
+            eprintln!("agt: {e}");
             ExitCode::FAILURE
         }
     }

@@ -62,6 +62,29 @@ pub fn bfs_multi_source<G: Graph>(g: &G, sources: &[Vertex], cfg: &Config) -> Tr
     crate::sssp::run_sssp_multi(g, sources, cfg, true)
 }
 
+/// Fallible [`bfs`]: a storage failure that exhausts its retry budget (or
+/// any other handler abort) returns `Err` with the classified
+/// [`TraversalError`](crate::TraversalError) and partial statistics,
+/// instead of panicking. This is the API to use for semi-external graphs
+/// on storage that can fail.
+pub fn try_bfs<G: Graph>(
+    g: &G,
+    source: Vertex,
+    cfg: &Config,
+) -> Result<TraversalOutput, crate::TraversalError> {
+    crate::sssp::try_run_sssp_multi_recorded(g, &[source], cfg, true, &asyncgt_obs::NoopRecorder)
+}
+
+/// [`try_bfs`] with a metrics [`Recorder`](asyncgt_obs::Recorder).
+pub fn try_bfs_recorded<G: Graph, R: asyncgt_obs::Recorder>(
+    g: &G,
+    source: Vertex,
+    cfg: &Config,
+    recorder: &R,
+) -> Result<TraversalOutput, crate::TraversalError> {
+    crate::sssp::try_run_sssp_multi_recorded(g, &[source], cfg, true, recorder)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,10 +7,14 @@
 //! identifier takes over the remainder of both traversals."
 
 use crate::config::Config;
+use crate::error::TraversalError;
 use crate::result::TraversalStats;
+use crate::sssp::make_stats;
 use asyncgt_graph::{stats, Graph, Vertex, INF_DIST};
 use asyncgt_obs::{Counter, NoopRecorder, Recorder};
-use asyncgt_vq::{AtomicStateArray, PushCtx, VisitHandler, Visitor, VisitorQueue};
+use asyncgt_vq::{
+    AbortReason, AtomicStateArray, FallibleVisitHandler, PushCtx, Visitor, VisitorQueue,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The paper's `UCCVertexVisitor`: a candidate component id for `vertex`.
@@ -54,15 +58,16 @@ struct CcHandler<'a, G> {
     prune: bool,
 }
 
-impl<'a, G: Graph> VisitHandler<CcVisitor> for CcHandler<'a, G> {
-    fn visit(&self, v: CcVisitor, ctx: &mut PushCtx<'_, CcVisitor>) {
+impl<'a, G: Graph> FallibleVisitHandler<CcVisitor> for CcHandler<'a, G> {
+    fn try_visit(&self, v: CcVisitor, ctx: &mut PushCtx<'_, CcVisitor>) -> Result<(), AbortReason> {
         // Algorithm 4: relax the component id if the candidate is smaller,
-        // then flood it to every neighbor.
+        // then flood it to every neighbor. A storage failure surfacing from
+        // the fallible adjacency read aborts the run cleanly.
         let vertex = v.vertex as u64;
         if (v.ccid as u64) < self.ccid.get(vertex) {
             self.ccid.set(vertex, v.ccid as u64);
             self.relaxations.fetch_add(1, Ordering::Relaxed);
-            self.g.for_each_neighbor(vertex, |t, _| {
+            self.g.try_for_each_neighbor(vertex, |t, _| {
                 if self.prune && v.ccid as u64 >= self.ccid.get(t) {
                     return;
                 }
@@ -70,8 +75,9 @@ impl<'a, G: Graph> VisitHandler<CcVisitor> for CcHandler<'a, G> {
                     ccid: v.ccid,
                     vertex: t as u32,
                 });
-            });
+            })?;
         }
+        Ok(())
     }
 }
 
@@ -128,6 +134,24 @@ pub fn connected_components_recorded<G: Graph, R: Recorder>(
     cfg: &Config,
     recorder: &R,
 ) -> CcOutput {
+    try_connected_components_recorded(g, cfg, recorder).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible [`connected_components`]: a storage failure that exhausts its
+/// retry budget (or any other handler abort) returns `Err` with the
+/// classified [`TraversalError`] and partial statistics, instead of
+/// panicking. This is the API to use for semi-external graphs on storage
+/// that can fail.
+pub fn try_connected_components<G: Graph>(g: &G, cfg: &Config) -> Result<CcOutput, TraversalError> {
+    try_connected_components_recorded(g, cfg, &NoopRecorder)
+}
+
+/// [`try_connected_components`] with a metrics [`Recorder`].
+pub fn try_connected_components_recorded<G: Graph, R: Recorder>(
+    g: &G,
+    cfg: &Config,
+    recorder: &R,
+) -> Result<CcOutput, TraversalError> {
     let n = g.num_vertices();
     assert!(
         n < u32::MAX as u64,
@@ -153,8 +177,15 @@ pub fn connected_components_recorded<G: Graph, R: Recorder>(
     // seeds itself), so lg(n) − 10 classes fit the queue's bucket ring.
     let default_shift = crate::config::lg2(n).saturating_sub(10);
     recorder.phase_start("traversal");
-    let run = VisitorQueue::run_recorded(&cfg.vq(default_shift), &handler, init, recorder);
+    let result = VisitorQueue::try_run_recorded(&cfg.vq(default_shift), &handler, init, recorder);
     recorder.phase_end("traversal");
+    let run = match result {
+        Ok(run) => run,
+        Err(aborted) => {
+            let stats = make_stats(&aborted.stats, relaxations.load(Ordering::Relaxed));
+            return Err(TraversalError::from_abort(aborted, stats));
+        }
+    };
 
     let relaxed = relaxations.load(Ordering::Relaxed);
     if R::ENABLED {
@@ -168,19 +199,10 @@ pub fn connected_components_recorded<G: Graph, R: Recorder>(
     recorder.phase_start("extract_state");
     let out = CcOutput {
         ccid: ccid.to_vec(),
-        stats: TraversalStats {
-            visitors_executed: run.visitors_executed,
-            visitors_pushed: run.visitors_pushed,
-            local_pushes: run.local_pushes,
-            parks: run.parks,
-            inbox_batches: run.inbox_batches,
-            relaxations: relaxed,
-            elapsed: run.elapsed,
-            num_threads: run.num_threads,
-        },
+        stats: make_stats(&run, relaxed),
     };
     recorder.phase_end("extract_state");
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -1,0 +1,110 @@
+//! Typed traversal failures.
+//!
+//! An abortable traversal ([`try_bfs`](crate::try_bfs),
+//! [`try_sssp`](crate::try_sssp),
+//! [`try_connected_components`](crate::try_connected_components)) that
+//! cannot complete — typically because a semi-external adjacency read
+//! exhausted its retry budget — returns a [`TraversalError`] carrying the
+//! classified cause *and* the partial run statistics accumulated before the
+//! abort, so callers can report how far the run got.
+
+use crate::result::TraversalStats;
+use asyncgt_storage::StorageError;
+use asyncgt_vq::{AbortReason, AbortedRun};
+
+/// Why a traversal aborted, with partial statistics from the run.
+#[derive(Debug)]
+pub enum TraversalError {
+    /// A semi-external storage failure (retry-exhausted transient fault,
+    /// on-media corruption, or a permanent device error).
+    Storage(StorageError, TraversalStats),
+    /// A handler aborted for a non-storage reason.
+    Aborted(AbortReason, TraversalStats),
+}
+
+impl TraversalError {
+    /// Classify an engine-level abort: storage errors are recovered from
+    /// the type-erased reason by downcast; anything else stays opaque.
+    pub(crate) fn from_abort(aborted: AbortedRun, stats: TraversalStats) -> Self {
+        match aborted.reason.downcast::<StorageError>() {
+            Ok(e) => TraversalError::Storage(*e, stats),
+            Err(reason) => TraversalError::Aborted(reason, stats),
+        }
+    }
+
+    /// Partial statistics accumulated before the abort.
+    pub fn stats(&self) -> &TraversalStats {
+        match self {
+            TraversalError::Storage(_, s) | TraversalError::Aborted(_, s) => s,
+        }
+    }
+
+    /// The storage failure behind this abort, if that is what it was.
+    pub fn storage_error(&self) -> Option<&StorageError> {
+        match self {
+            TraversalError::Storage(e, _) => Some(e),
+            TraversalError::Aborted(..) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for TraversalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraversalError::Storage(e, s) => write!(
+                f,
+                "traversal aborted by storage failure after {} visitors: {e}",
+                s.visitors_executed
+            ),
+            TraversalError::Aborted(r, s) => write!(
+                f,
+                "traversal aborted after {} visitors: {r}",
+                s.visitors_executed
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraversalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraversalError::Storage(e, _) => Some(e),
+            TraversalError::Aborted(r, _) => Some(r.as_ref()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_reason_is_recovered_by_downcast() {
+        let reason: AbortReason = Box::new(StorageError::Permanent {
+            detail: "dead device".into(),
+        });
+        let aborted = AbortedRun {
+            reason,
+            stats: Default::default(),
+        };
+        let err = TraversalError::from_abort(aborted, TraversalStats::default());
+        assert!(matches!(
+            err,
+            TraversalError::Storage(StorageError::Permanent { .. }, _)
+        ));
+        assert!(err.storage_error().is_some());
+        assert!(err.to_string().contains("dead device"));
+    }
+
+    #[test]
+    fn non_storage_reason_stays_opaque() {
+        let aborted = AbortedRun {
+            reason: "handler gave up".into(),
+            stats: Default::default(),
+        };
+        let err = TraversalError::from_abort(aborted, TraversalStats::default());
+        assert!(matches!(err, TraversalError::Aborted(..)));
+        assert!(err.storage_error().is_none());
+        assert!(err.to_string().contains("handler gave up"));
+    }
+}

@@ -49,20 +49,25 @@ pub mod bfs;
 pub mod cc;
 pub mod config;
 pub mod diameter;
+pub mod error;
 pub mod khop;
 pub mod pagerank;
 pub mod result;
 pub mod sssp;
 pub mod validate;
 
-pub use bfs::{bfs, bfs_multi_source, bfs_recorded};
-pub use cc::{connected_components, connected_components_recorded, CcOutput};
+pub use bfs::{bfs, bfs_multi_source, bfs_recorded, try_bfs, try_bfs_recorded};
+pub use cc::{
+    connected_components, connected_components_recorded, try_connected_components,
+    try_connected_components_recorded, CcOutput,
+};
 pub use config::Config;
 pub use diameter::{double_sweep, eccentricity, DiameterEstimate};
+pub use error::TraversalError;
 pub use khop::{bfs_bounded, khop_ball};
 pub use pagerank::{pagerank, PageRankOutput, PageRankParams};
 pub use result::{TraversalOutput, TraversalStats};
-pub use sssp::{sssp, sssp_multi_source, sssp_recorded};
+pub use sssp::{sssp, sssp_multi_source, sssp_recorded, try_sssp, try_sssp_recorded};
 
 /// Re-export of the graph substrate (generators, CSR, I/O, statistics).
 pub use asyncgt_graph as graph;

@@ -8,10 +8,13 @@
 //! visited at each step, possibly requiring multiple visits per vertex."
 
 use crate::config::Config;
+use crate::error::TraversalError;
 use crate::result::{TraversalOutput, TraversalStats};
 use asyncgt_graph::{Graph, Vertex, INF_DIST, NO_VERTEX};
 use asyncgt_obs::{Counter, NoopRecorder, Recorder};
-use asyncgt_vq::{AtomicStateArray, PushCtx, VisitHandler, Visitor, VisitorQueue};
+use asyncgt_vq::{
+    AbortReason, AtomicStateArray, FallibleVisitHandler, PushCtx, RunStats, Visitor, VisitorQueue,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The paper's `SSSPVertexVisitor`: a candidate path of length `dist`
@@ -70,8 +73,12 @@ pub(crate) struct SsspHandler<'a, G> {
     pub unit_weights: bool,
 }
 
-impl<'a, G: Graph> VisitHandler<SsspVisitor> for SsspHandler<'a, G> {
-    fn visit(&self, v: SsspVisitor, ctx: &mut PushCtx<'_, SsspVisitor>) {
+impl<'a, G: Graph> FallibleVisitHandler<SsspVisitor> for SsspHandler<'a, G> {
+    fn try_visit(
+        &self,
+        v: SsspVisitor,
+        ctx: &mut PushCtx<'_, SsspVisitor>,
+    ) -> Result<(), AbortReason> {
         // Exclusive access to `v.vertex`'s labels is guaranteed by hash
         // routing, so this check-then-store needs no atomicity beyond the
         // relaxed cells themselves (Algorithm 2 lines 8-10).
@@ -87,7 +94,12 @@ impl<'a, G: Graph> VisitHandler<SsspVisitor> for SsspHandler<'a, G> {
                 },
             );
             self.relaxations.fetch_add(1, Ordering::Relaxed);
-            self.g.for_each_neighbor(vertex, |t, w| {
+            // Fallible adjacency iteration: a storage error (retry budget
+            // exhausted, corruption) aborts the whole run cleanly instead
+            // of unwinding a panic through the worker pool. Note the label
+            // was already relaxed; label-correcting algorithms tolerate
+            // that — a retried/restarted run re-relaxes from scratch.
+            self.g.try_for_each_neighbor(vertex, |t, w| {
                 let nd = v.dist + if self.unit_weights { 1 } else { w as u64 };
                 // Pruning reads the target's label from a non-owning
                 // thread. Labels only decrease, so a stale value can only
@@ -101,8 +113,24 @@ impl<'a, G: Graph> VisitHandler<SsspVisitor> for SsspHandler<'a, G> {
                     vertex: t as u32,
                     parent: v.vertex,
                 });
-            });
+            })?;
         }
+        Ok(())
+    }
+}
+
+/// Build a [`TraversalStats`] from engine [`RunStats`] plus the handler's
+/// relaxation count (also used for the partial stats of an aborted run).
+pub(crate) fn make_stats(run: &RunStats, relaxed: u64) -> TraversalStats {
+    TraversalStats {
+        visitors_executed: run.visitors_executed,
+        visitors_pushed: run.visitors_pushed,
+        local_pushes: run.local_pushes,
+        parks: run.parks,
+        inbox_batches: run.inbox_batches,
+        relaxations: relaxed,
+        elapsed: run.elapsed,
+        num_threads: run.num_threads,
     }
 }
 
@@ -124,6 +152,8 @@ pub(crate) fn run_sssp_multi<G: Graph>(
     run_sssp_multi_recorded(g, sources, cfg, unit_weights, &NoopRecorder)
 }
 
+/// Infallible wrapper: the historical API contract is that a storage
+/// failure panics, so callers that cannot abort keep working unchanged.
 pub(crate) fn run_sssp_multi_recorded<G: Graph, R: Recorder>(
     g: &G,
     sources: &[Vertex],
@@ -131,6 +161,17 @@ pub(crate) fn run_sssp_multi_recorded<G: Graph, R: Recorder>(
     unit_weights: bool,
     recorder: &R,
 ) -> TraversalOutput {
+    try_run_sssp_multi_recorded(g, sources, cfg, unit_weights, recorder)
+        .unwrap_or_else(|e| panic!("{e}"))
+}
+
+pub(crate) fn try_run_sssp_multi_recorded<G: Graph, R: Recorder>(
+    g: &G,
+    sources: &[Vertex],
+    cfg: &Config,
+    unit_weights: bool,
+    recorder: &R,
+) -> Result<TraversalOutput, TraversalError> {
     let n = g.num_vertices();
     assert!(!sources.is_empty(), "at least one source vertex required");
     for &source in sources {
@@ -181,8 +222,15 @@ pub(crate) fn run_sssp_multi_recorded<G: Graph, R: Recorder>(
         crate::config::lg2(n).saturating_sub(9)
     };
     recorder.phase_start("traversal");
-    let run = VisitorQueue::run_recorded(&cfg.vq(default_shift), &handler, init, recorder);
+    let result = VisitorQueue::try_run_recorded(&cfg.vq(default_shift), &handler, init, recorder);
     recorder.phase_end("traversal");
+    let run = match result {
+        Ok(run) => run,
+        Err(aborted) => {
+            let stats = make_stats(&aborted.stats, relaxations.load(Ordering::Relaxed));
+            return Err(TraversalError::from_abort(aborted, stats));
+        }
+    };
 
     let relaxed = relaxations.load(Ordering::Relaxed);
     if R::ENABLED {
@@ -200,19 +248,10 @@ pub(crate) fn run_sssp_multi_recorded<G: Graph, R: Recorder>(
     let out = TraversalOutput {
         dist: dist.to_vec(),
         parent: parent.to_vec(),
-        stats: TraversalStats {
-            visitors_executed: run.visitors_executed,
-            visitors_pushed: run.visitors_pushed,
-            local_pushes: run.local_pushes,
-            parks: run.parks,
-            inbox_batches: run.inbox_batches,
-            relaxations: relaxed,
-            elapsed: run.elapsed,
-            num_threads: run.num_threads,
-        },
+        stats: make_stats(&run, relaxed),
     };
     recorder.phase_end("extract_state");
-    out
+    Ok(out)
 }
 
 /// Asynchronous Single-Source Shortest Paths from `source`.
@@ -256,6 +295,28 @@ pub fn sssp_recorded<G: Graph, R: Recorder>(
 /// same generalization the paper's CC algorithm uses.
 pub fn sssp_multi_source<G: Graph>(g: &G, sources: &[Vertex], cfg: &Config) -> TraversalOutput {
     run_sssp_multi(g, sources, cfg, false)
+}
+
+/// Fallible [`sssp`]: a storage failure that exhausts its retry budget (or
+/// any other handler abort) returns `Err` with the classified
+/// [`TraversalError`] and partial statistics, instead of panicking. This is
+/// the API to use for semi-external graphs on storage that can fail.
+pub fn try_sssp<G: Graph>(
+    g: &G,
+    source: Vertex,
+    cfg: &Config,
+) -> Result<TraversalOutput, TraversalError> {
+    try_run_sssp_multi_recorded(g, &[source], cfg, false, &NoopRecorder)
+}
+
+/// [`try_sssp`] with a metrics [`Recorder`].
+pub fn try_sssp_recorded<G: Graph, R: Recorder>(
+    g: &G,
+    source: Vertex,
+    cfg: &Config,
+    recorder: &R,
+) -> Result<TraversalOutput, TraversalError> {
+    try_run_sssp_multi_recorded(g, &[source], cfg, false, recorder)
 }
 
 #[cfg(test)]

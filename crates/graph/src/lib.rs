@@ -37,7 +37,7 @@ pub mod weights;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
-pub use traits::{Graph, VertexIndex, WeightedEdgeList};
+pub use traits::{Graph, NeighborError, VertexIndex, WeightedEdgeList};
 
 /// Vertex identifier used at the public API boundary.
 ///

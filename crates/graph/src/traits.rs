@@ -73,6 +73,12 @@ impl VertexIndex for u64 {
     }
 }
 
+/// Error surfaced by [`Graph::try_for_each_neighbor`] when the backing
+/// storage fails to produce an adjacency list. Boxed so the graph crate
+/// stays independent of any particular storage backend's error type;
+/// callers downcast when they need the concrete error.
+pub type NeighborError = Box<dyn std::error::Error + Send + Sync + 'static>;
+
 /// Read-only graph interface consumed by every traversal algorithm.
 ///
 /// Neighbor enumeration uses a visitor closure rather than returning an
@@ -93,6 +99,19 @@ pub trait Graph: Sync {
 
     /// Invoke `f(target, weight)` for every outgoing edge of `v`.
     fn for_each_neighbor<F: FnMut(Vertex, Weight)>(&self, v: Vertex, f: F);
+
+    /// Fallible variant of [`Graph::for_each_neighbor`] for backends whose
+    /// adjacency reads can fail (semi-external memory). In-memory graphs
+    /// keep the default, which cannot error and compiles to a plain
+    /// `for_each_neighbor` call.
+    fn try_for_each_neighbor<F: FnMut(Vertex, Weight)>(
+        &self,
+        v: Vertex,
+        f: F,
+    ) -> Result<(), NeighborError> {
+        self.for_each_neighbor(v, f);
+        Ok(())
+    }
 
     /// Whether the graph carries explicit edge weights.
     fn is_weighted(&self) -> bool {
@@ -119,6 +138,13 @@ impl<G: Graph> Graph for &G {
     }
     fn for_each_neighbor<F: FnMut(Vertex, Weight)>(&self, v: Vertex, f: F) {
         (**self).for_each_neighbor(v, f)
+    }
+    fn try_for_each_neighbor<F: FnMut(Vertex, Weight)>(
+        &self,
+        v: Vertex,
+        f: F,
+    ) -> Result<(), NeighborError> {
+        (**self).try_for_each_neighbor(v, f)
     }
     fn is_weighted(&self) -> bool {
         (**self).is_weighted()

@@ -60,10 +60,16 @@ pub enum Counter {
     CacheMisses,
     /// Bytes read from storage.
     BytesRead,
+    /// Block reads re-issued after a retryable fault.
+    Retries,
+    /// Injected or observed faults absorbed by a successful retry.
+    FaultsAbsorbed,
+    /// Faults that exhausted the retry budget and aborted the read.
+    FaultsFatal,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 17] = [
         Counter::VisitorsPushed,
         Counter::VisitorsExecuted,
         Counter::LocalPushes,
@@ -78,6 +84,9 @@ impl Counter {
         Counter::CacheHits,
         Counter::CacheMisses,
         Counter::BytesRead,
+        Counter::Retries,
+        Counter::FaultsAbsorbed,
+        Counter::FaultsFatal,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -97,6 +106,9 @@ impl Counter {
             Counter::CacheHits => "cache_hits",
             Counter::CacheMisses => "cache_misses",
             Counter::BytesRead => "bytes_read",
+            Counter::Retries => "retries",
+            Counter::FaultsAbsorbed => "faults_absorbed",
+            Counter::FaultsFatal => "faults_fatal",
         }
     }
 }
@@ -115,14 +127,18 @@ pub enum HistKind {
     QueueDepth,
     /// Nanoseconds per positioned storage read.
     ReadLatencyNs,
+    /// Nanoseconds from first failed attempt to eventual success of a
+    /// retried block read (backoff included).
+    RetryLatencyNs,
 }
 
 impl HistKind {
-    pub const ALL: [HistKind; 4] = [
+    pub const ALL: [HistKind; 5] = [
         HistKind::ServiceTimeNs,
         HistKind::InboxBatchSize,
         HistKind::QueueDepth,
         HistKind::ReadLatencyNs,
+        HistKind::RetryLatencyNs,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -132,6 +148,7 @@ impl HistKind {
             HistKind::InboxBatchSize => "inbox_batch_size",
             HistKind::QueueDepth => "queue_depth",
             HistKind::ReadLatencyNs => "read_latency_ns",
+            HistKind::RetryLatencyNs => "retry_latency_ns",
         }
     }
 }
@@ -236,6 +253,15 @@ pub trait MetricSink: Send + Sync {
 
     /// One block-cache lookup.
     fn cache_access(&self, hit: bool);
+
+    /// A block read that succeeded after `attempts` failed attempts;
+    /// `latency_ns` spans first failure to eventual success, backoff
+    /// included. Default no-op keeps older sinks source-compatible.
+    fn io_retry(&self, _attempts: u64, _latency_ns: u64) {}
+
+    /// One fault outcome: absorbed by retry (`fatal == false`) or
+    /// surfaced to the caller after exhausting the budget.
+    fn io_fault(&self, _fatal: bool) {}
 }
 
 thread_local! {
@@ -258,12 +284,7 @@ impl Shard {
         Shard {
             counters: [const { AtomicU64::new(0) }; NUM_COUNTERS],
             gauges: [const { AtomicU64::new(0) }; NUM_GAUGES],
-            hists: [
-                LogHistogram::new(),
-                LogHistogram::new(),
-                LogHistogram::new(),
-                LogHistogram::new(),
-            ],
+            hists: std::array::from_fn(|_| LogHistogram::new()),
         }
     }
 }
@@ -454,6 +475,22 @@ impl MetricSink for ShardedRecorder {
             1,
         );
     }
+
+    fn io_retry(&self, attempts: u64, latency_ns: u64) {
+        self.counter(Counter::Retries, attempts);
+        self.observe(HistKind::RetryLatencyNs, latency_ns);
+    }
+
+    fn io_fault(&self, fatal: bool) {
+        self.counter(
+            if fatal {
+                Counter::FaultsFatal
+            } else {
+                Counter::FaultsAbsorbed
+            },
+            1,
+        );
+    }
 }
 
 #[cfg(test)]
@@ -547,5 +584,22 @@ mod tests {
         let lat = snap.histograms.get(HistKind::ReadLatencyNs);
         assert_eq!(lat.count, 2);
         assert_eq!(lat.sum, 2400);
+    }
+
+    #[test]
+    fn metric_sink_routes_retry_and_fault_events() {
+        let r = ShardedRecorder::new(1);
+        let sink: &dyn MetricSink = &r;
+        sink.io_retry(3, 250_000);
+        sink.io_fault(false);
+        sink.io_fault(false);
+        sink.io_fault(true);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("retries"), 3);
+        assert_eq!(snap.counter("faults_absorbed"), 2);
+        assert_eq!(snap.counter("faults_fatal"), 1);
+        let lat = snap.histograms.get(HistKind::RetryLatencyNs);
+        assert_eq!(lat.count, 1);
+        assert_eq!(lat.sum, 250_000);
     }
 }

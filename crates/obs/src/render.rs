@@ -103,6 +103,13 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
             io.cache_hits + io.cache_misses,
             100.0 * io.cache_hit_rate()
         );
+        if io.retries + io.faults_absorbed + io.faults_fatal > 0 {
+            let _ = writeln!(
+                out,
+                "  faults: {} retries, {} absorbed, {} fatal",
+                io.retries, io.faults_absorbed, io.faults_fatal
+            );
+        }
     }
 
     out
@@ -132,6 +139,9 @@ mod tests {
             cache_hits: 1,
             cache_misses: 0,
             bytes_read: 4096,
+            retries: 3,
+            faults_absorbed: 3,
+            faults_fatal: 0,
         });
         let text = render_summary(&snap);
         assert!(text.contains("visitors_pushed"));
@@ -141,6 +151,7 @@ mod tests {
         assert!(text.contains("traversal"));
         assert!(text.contains("termination: 1 worker exits"));
         assert!(text.contains("100.0% hit"));
+        assert!(text.contains("faults: 3 retries, 3 absorbed, 0 fatal"));
     }
 
     #[test]

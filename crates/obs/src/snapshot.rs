@@ -24,7 +24,8 @@
 //!   "phases": [ { "name": "traversal", "start_us": 0, "end_us": 100 } ],
 //!   "timeline": [ { "t_us": 90, "worker": 3, "label": "worker_exit" } ],
 //!   "io": { "adjacency_reads": 10, "cache_hits": 8, "cache_misses": 2,
-//!           "bytes_read": 81920 }
+//!           "bytes_read": 81920, "retries": 0, "faults_absorbed": 0,
+//!           "faults_fatal": 0 }
 //! }
 //! ```
 
@@ -103,6 +104,12 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub bytes_read: u64,
+    /// Block reads re-issued after a retryable fault.
+    pub retries: u64,
+    /// Faults absorbed by a successful retry.
+    pub faults_absorbed: u64,
+    /// Faults that exhausted the retry budget.
+    pub faults_fatal: u64,
 }
 
 impl IoSnapshot {
@@ -250,6 +257,9 @@ impl MetricsSnapshot {
                     ("cache_hits".into(), Value::Int(io.cache_hits)),
                     ("cache_misses".into(), Value::Int(io.cache_misses)),
                     ("bytes_read".into(), Value::Int(io.bytes_read)),
+                    ("retries".into(), Value::Int(io.retries)),
+                    ("faults_absorbed".into(), Value::Int(io.faults_absorbed)),
+                    ("faults_fatal".into(), Value::Int(io.faults_fatal)),
                 ]),
             ));
         }
@@ -312,15 +322,18 @@ impl MetricsSnapshot {
                     .get("counters")
                     .and_then(Value::as_obj)
                     .ok_or("per_worker entry missing counters")?;
+                // Counters absent from the snapshot (written before a
+                // newer counter was added) read back as zero; the schema
+                // treats counter additions as non-breaking.
                 let counters = crate::recorder::Counter::ALL
                     .iter()
                     .map(|c| {
                         obj.iter()
                             .find(|(k, _)| k == c.name())
                             .and_then(|(_, v)| v.as_u64())
-                            .ok_or_else(|| format!("worker counter {:?} missing", c.name()))
+                            .unwrap_or(0)
                     })
-                    .collect::<Result<Vec<_>, _>>()?;
+                    .collect::<Vec<_>>();
                 Ok(WorkerCounters {
                     worker,
                     counters,
@@ -427,11 +440,17 @@ impl MetricsSnapshot {
                         .and_then(Value::as_u64)
                         .ok_or_else(|| format!("io missing {f:?}"))
                 };
+                // Fault fields are additive (schema version unchanged):
+                // absent in older snapshots, so they default to zero.
+                let opt = |f: &str| io.get(f).and_then(Value::as_u64).unwrap_or(0);
                 Some(IoSnapshot {
                     adjacency_reads: num("adjacency_reads")?,
                     cache_hits: num("cache_hits")?,
                     cache_misses: num("cache_misses")?,
                     bytes_read: num("bytes_read")?,
+                    retries: opt("retries"),
+                    faults_absorbed: opt("faults_absorbed"),
+                    faults_fatal: opt("faults_fatal"),
                 })
             }
         };
@@ -474,6 +493,9 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             bytes_read: 16384,
+            retries: 2,
+            faults_absorbed: 2,
+            faults_fatal: 0,
         });
         snap
     }
@@ -525,12 +547,26 @@ mod tests {
     }
 
     #[test]
+    fn older_io_snapshot_without_fault_fields_parses() {
+        let snap = sample_snapshot();
+        let text = snap
+            .to_json_string()
+            .replace("\"retries\": 2,", "")
+            .replace("\"faults_absorbed\": 2,", "");
+        let back = MetricsSnapshot::from_json_str(&text).unwrap();
+        let io = back.io.unwrap();
+        assert_eq!(io.retries, 0);
+        assert_eq!(io.faults_absorbed, 0);
+        assert_eq!(io.adjacency_reads, 4);
+    }
+
+    #[test]
     fn io_hit_rate() {
         let io = IoSnapshot {
             adjacency_reads: 10,
             cache_hits: 8,
             cache_misses: 2,
-            bytes_read: 0,
+            ..IoSnapshot::default()
         };
         assert!((io.cache_hit_rate() - 0.8).abs() < 1e-9);
         assert_eq!(IoSnapshot::default().cache_hit_rate(), 0.0);

@@ -1,0 +1,150 @@
+//! Checksums protecting the SEM CSR file.
+//!
+//! Three layers, all stored inside the file itself (reserved header bytes
+//! plus an appended table) so the format stays backward compatible —
+//! legacy files with zeroed reserved bytes simply carry no checksums:
+//!
+//! * a CRC32 over the first 60 header bytes, catching header stomps that
+//!   structural validation can't (e.g. a flipped `weighted` bit);
+//! * one 64-bit sum over the raw offsets array, verified once at open;
+//! * one 64-bit sum per [`DEFAULT_CHUNK`]-byte chunk of the edge region,
+//!   verified on block fetches so in-flight corruption is caught before
+//!   a block enters the cache.
+//!
+//! The 64-bit sum is FNV-1a processed a word at a time — not the byte-wise
+//! reference FNV, but multi-GB/s on the write path and plenty for error
+//! *detection* (there is no adversary; the threat model is bit rot and
+//! torn I/O).
+
+/// Default edge-region bytes covered per checksum-table entry.
+pub const DEFAULT_CHUNK: u32 = 4096;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`, consumed 8 bytes at a time. The trailing
+/// partial word is zero-padded and the remainder length mixed in, so
+/// short chunks of different lengths never collide trivially.
+pub fn chunk_sum(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    let mut words = bytes.chunks_exact(8);
+    for w in words.by_ref() {
+        h ^= u64::from_le_bytes(w.try_into().unwrap());
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    let rem = words.remainder();
+    if !rem.is_empty() {
+        let mut tail = [0u8; 8];
+        tail[..rem.len()].copy_from_slice(rem);
+        h ^= u64::from_le_bytes(tail);
+        h = h.wrapping_mul(FNV_PRIME);
+        h ^= rem.len() as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Streaming chunker: feed the edge region in arbitrary slices, collect
+/// one [`chunk_sum`] per fixed-size chunk (final chunk may be short).
+pub struct ChunkSummer {
+    chunk: usize,
+    buf: Vec<u8>,
+    sums: Vec<u64>,
+}
+
+impl ChunkSummer {
+    pub fn new(chunk: usize) -> Self {
+        assert!(chunk > 0, "checksum chunk size must be positive");
+        ChunkSummer {
+            chunk,
+            buf: Vec::with_capacity(chunk),
+            sums: Vec::new(),
+        }
+    }
+
+    pub fn update(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let take = (self.chunk - self.buf.len()).min(bytes.len());
+            self.buf.extend_from_slice(&bytes[..take]);
+            bytes = &bytes[take..];
+            if self.buf.len() == self.chunk {
+                self.sums.push(chunk_sum(&self.buf));
+                self.buf.clear();
+            }
+        }
+    }
+
+    pub fn finish(mut self) -> Vec<u64> {
+        if !self.buf.is_empty() {
+            self.sums.push(chunk_sum(&self.buf));
+        }
+        self.sums
+    }
+}
+
+/// CRC-32 (IEEE 802.3, reflected). Bitwise — the input is a 60-byte
+/// header, so table-driven speed would buy nothing.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_sum_detects_single_bit_flips() {
+        let data = vec![0xA5u8; 100];
+        let base = chunk_sum(&data);
+        for byte in [0, 7, 8, 50, 95, 99] {
+            for bit in 0..8 {
+                let mut d = data.clone();
+                d[byte] ^= 1 << bit;
+                assert_ne!(chunk_sum(&d), base, "flip at byte {byte} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_sum_distinguishes_tail_lengths() {
+        // Zero tails of different lengths must not collide.
+        assert_ne!(chunk_sum(&[0u8; 1]), chunk_sum(&[0u8; 2]));
+        assert_ne!(chunk_sum(&[0u8; 9]), chunk_sum(&[0u8; 10]));
+        assert_ne!(chunk_sum(&[]), chunk_sum(&[0u8; 1]));
+    }
+
+    #[test]
+    fn summer_matches_direct_computation_across_split_updates() {
+        let data: Vec<u8> = (0..1000u32).map(|i| (i * 7) as u8).collect();
+        let chunk = 256;
+        let expect: Vec<u64> = data.chunks(chunk).map(chunk_sum).collect();
+
+        for split in [1, 3, 8, 100, 999] {
+            let mut s = ChunkSummer::new(chunk);
+            for piece in data.chunks(split) {
+                s.update(piece);
+            }
+            assert_eq!(s.finish(), expect, "split size {split}");
+        }
+    }
+
+    #[test]
+    fn summer_empty_input_yields_no_sums() {
+        assert!(ChunkSummer::new(64).finish().is_empty());
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

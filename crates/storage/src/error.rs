@@ -1,0 +1,207 @@
+//! Typed storage errors for the SEM read path.
+//!
+//! The paper's semi-external mode issues millions of small positioned
+//! reads per traversal; at that volume I/O failures are an operational
+//! certainty, not an edge case. [`StorageError`] classifies them by what
+//! the caller can do about it:
+//!
+//! * [`StorageError::Transient`] — worth retrying (spurious `EIO`, short
+//!   read, timeout). The reader absorbs these under its retry policy.
+//! * [`StorageError::Corrupt`] — the bytes came back but fail checksum or
+//!   structural validation. Retried once or twice in case the corruption
+//!   happened in flight; surfaced if it persists (on-media damage).
+//! * [`StorageError::Permanent`] — retrying cannot help (file missing,
+//!   permission denied, device gone). Surfaced immediately.
+
+use std::fmt;
+use std::io;
+
+/// Error produced by the semi-external storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// A retryable I/O failure. `attempts` is the number of attempts made
+    /// before giving up (0 while still inside the retry loop).
+    Transient { detail: String, attempts: u32 },
+    /// Data that fails checksum or structural validation. `offset` is the
+    /// absolute file position of the bad region; `vertex` is filled in
+    /// when the failure is attributable to one adjacency list.
+    Corrupt {
+        vertex: Option<u64>,
+        offset: u64,
+        detail: String,
+    },
+    /// A failure that no amount of retrying will fix.
+    Permanent { detail: String },
+}
+
+impl StorageError {
+    /// Whether a retry has any chance of succeeding. Corruption counts as
+    /// retryable: a re-read distinguishes in-flight corruption (absorbed)
+    /// from on-media damage (persists and is then surfaced).
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, StorageError::Permanent { .. })
+    }
+
+    /// Attribute a corruption error to the adjacency list being read.
+    pub(crate) fn with_vertex(self, v: u64) -> Self {
+        match self {
+            StorageError::Corrupt {
+                vertex: None,
+                offset,
+                detail,
+            } => StorageError::Corrupt {
+                vertex: Some(v),
+                offset,
+                detail,
+            },
+            other => other,
+        }
+    }
+
+    /// Record how many attempts were made before this error was surfaced.
+    pub(crate) fn with_attempts(self, n: u32) -> Self {
+        match self {
+            StorageError::Transient { detail, .. } => StorageError::Transient {
+                detail,
+                attempts: n,
+            },
+            other => other,
+        }
+    }
+
+    /// Classify a raw OS error. Resource-style failures (`NotFound`,
+    /// `PermissionDenied`, …) are permanent; `InvalidData` means a parser
+    /// rejected the bytes; everything else (spurious `EIO`, `Interrupted`,
+    /// `TimedOut`, …) is worth retrying.
+    pub fn from_io(e: io::Error) -> StorageError {
+        use io::ErrorKind::*;
+        match e.kind() {
+            NotFound | PermissionDenied | InvalidInput | Unsupported | AlreadyExists => {
+                StorageError::Permanent {
+                    detail: e.to_string(),
+                }
+            }
+            InvalidData => StorageError::Corrupt {
+                vertex: None,
+                offset: 0,
+                detail: e.to_string(),
+            },
+            _ => StorageError::Transient {
+                detail: e.to_string(),
+                attempts: 0,
+            },
+        }
+    }
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Transient { detail, attempts } => {
+                if *attempts > 1 {
+                    write!(f, "transient I/O error after {attempts} attempts: {detail}")
+                } else {
+                    write!(f, "transient I/O error: {detail}")
+                }
+            }
+            StorageError::Corrupt {
+                vertex,
+                offset,
+                detail,
+            } => {
+                write!(f, "corrupt data at byte {offset}")?;
+                if let Some(v) = vertex {
+                    write!(f, " (adjacency of vertex {v})")?;
+                }
+                write!(f, ": {detail}")
+            }
+            StorageError::Permanent { detail } => write!(f, "permanent I/O error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::from_io(e)
+    }
+}
+
+impl From<StorageError> for io::Error {
+    fn from(e: StorageError) -> io::Error {
+        let kind = match &e {
+            StorageError::Transient { .. } => io::ErrorKind::Other,
+            StorageError::Corrupt { .. } => io::ErrorKind::InvalidData,
+            StorageError::Permanent { .. } => io::ErrorKind::Other,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_from_io_kinds() {
+        let perm = StorageError::from_io(io::Error::new(io::ErrorKind::NotFound, "x"));
+        assert!(matches!(perm, StorageError::Permanent { .. }));
+        assert!(!perm.is_retryable());
+
+        let corrupt = StorageError::from_io(io::Error::new(io::ErrorKind::InvalidData, "x"));
+        assert!(matches!(corrupt, StorageError::Corrupt { .. }));
+        assert!(corrupt.is_retryable());
+
+        let eio = StorageError::from_io(io::Error::from_raw_os_error(5));
+        assert!(matches!(eio, StorageError::Transient { .. }));
+        assert!(eio.is_retryable());
+    }
+
+    #[test]
+    fn vertex_and_attempt_annotation() {
+        let e = StorageError::Corrupt {
+            vertex: None,
+            offset: 128,
+            detail: "checksum".into(),
+        }
+        .with_vertex(7);
+        assert!(matches!(
+            e,
+            StorageError::Corrupt {
+                vertex: Some(7),
+                offset: 128,
+                ..
+            }
+        ));
+        // with_vertex never overwrites an existing attribution.
+        let e = e.with_vertex(9);
+        assert!(matches!(
+            e,
+            StorageError::Corrupt {
+                vertex: Some(7),
+                ..
+            }
+        ));
+
+        let t = StorageError::Transient {
+            detail: "eio".into(),
+            attempts: 0,
+        }
+        .with_attempts(4);
+        assert!(t.to_string().contains("after 4 attempts"));
+    }
+
+    #[test]
+    fn display_formats_are_readable() {
+        let c = StorageError::Corrupt {
+            vertex: Some(3),
+            offset: 4096,
+            detail: "chunk checksum mismatch".into(),
+        };
+        let s = c.to_string();
+        assert!(s.contains("byte 4096"));
+        assert!(s.contains("vertex 3"));
+        let _: Box<dyn std::error::Error + Send + Sync> = Box::new(c);
+    }
+}

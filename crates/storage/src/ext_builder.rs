@@ -18,6 +18,7 @@
 //!    analytics that intersect lists, and sorted lists compress the
 //!    semi-sorted access pattern further).
 
+use crate::checksum::{chunk_sum, ChunkSummer, DEFAULT_CHUNK};
 use crate::format::{SemHeader, HEADER_BYTES};
 use asyncgt_graph::io::EdgeListHeader;
 use std::fs::{File, OpenOptions};
@@ -122,14 +123,17 @@ pub fn build_sem_from_edge_list<P: AsRef<Path>, Q: AsRef<Path>>(
     }
     debug_assert_eq!(offsets[n as usize], m);
 
-    let header = SemHeader {
+    let mut header = SemHeader {
         index_width: 4,
         weighted,
         num_vertices: n,
         num_edges: m,
         offsets_pos: HEADER_BYTES,
         edges_pos: HEADER_BYTES + (n + 1) * 8,
+        checksum_pos: 0,
+        checksum_chunk: DEFAULT_CHUNK,
     };
+    header.checksum_pos = header.expected_file_len();
     let rec = header.record_size();
 
     let out = OpenOptions::new()
@@ -138,13 +142,17 @@ pub fn build_sem_from_edge_list<P: AsRef<Path>, Q: AsRef<Path>>(
         .read(true)
         .truncate(true)
         .open(output)?;
-    out.set_len(header.expected_file_len())?;
+    out.set_len(header.total_file_len())?;
+    let offsets_sum;
     {
         let mut w = io::BufWriter::new(&out);
         w.write_all(&header.encode())?;
+        let mut obuf = Vec::with_capacity(((n + 1) * 8) as usize);
         for off in &offsets {
-            w.write_all(&off.to_le_bytes())?;
+            obuf.extend_from_slice(&off.to_le_bytes());
         }
+        offsets_sum = chunk_sum(&obuf);
+        w.write_all(&obuf)?;
         w.flush()?;
     }
 
@@ -187,8 +195,12 @@ pub fn build_sem_from_edge_list<P: AsRef<Path>, Q: AsRef<Path>>(
     }
 
     // ---- pass 3: sort each adjacency list, streaming sequentially ------
+    // The same sequential sweep feeds the checksum table: sorted adjacency
+    // lists are contiguous and in order, so concatenating them reproduces
+    // the final edge-region byte stream exactly.
     let mut file = File::options().read(true).write(true).open(output)?;
     file.seek(SeekFrom::Start(header.edges_pos))?;
+    let mut summer = ChunkSummer::new(header.checksum_chunk as usize);
     let mut adj: Vec<u8> = Vec::new();
     for v in 0..n as usize {
         let lo = offsets[v];
@@ -214,8 +226,17 @@ pub fn build_sem_from_edge_list<P: AsRef<Path>, Q: AsRef<Path>>(
         });
         let sorted: Vec<u8> = records.concat();
         file.write_all_at(&sorted, pos)?;
+        summer.update(&sorted);
     }
+
+    let mut table = Vec::with_capacity(header.checksum_table_len() as usize);
+    table.extend_from_slice(&offsets_sum.to_le_bytes());
+    for sum in summer.finish() {
+        table.extend_from_slice(&sum.to_le_bytes());
+    }
+    file.write_all_at(&table, header.checksum_pos)?;
     file.flush()?;
+    file.sync_all()?;
     Ok(header)
 }
 

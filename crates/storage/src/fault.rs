@@ -1,0 +1,290 @@
+//! Deterministic, seed-driven fault injection for the SEM block-read path.
+//!
+//! A [`FaultyDevice`] sits between the reader and the file: after each raw
+//! block read it consults a pure function of `(seed, block)` to decide
+//! whether — and how — that read fails. Determinism is the point: a fault
+//! schedule is fully reproduced by its seed, so CI can pin seeds and a
+//! failing run can be replayed exactly.
+//!
+//! Transient schedules bound the consecutive failures per block
+//! ([`FaultPlan::max_consecutive`]) below the reader's retry budget, which
+//! is what makes the "any transient-only schedule is absorbed" guarantee
+//! hold by construction. Permanent schedules fail the block on every
+//! attempt with a non-retryable error, exercising the abort path.
+
+use crate::error::StorageError;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// splitmix64 finalizer: the deterministic hash behind fault schedules
+/// and backoff jitter.
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Declarative description of a fault schedule.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed: the entire schedule is a pure function of `(seed, block)`.
+    pub seed: u64,
+    /// Fraction of blocks that fault, in `[0.0, 1.0]`.
+    pub rate: f64,
+    /// Upper bound on injected failures per faulty block; the actual burst
+    /// length is schedule-chosen in `1..=max_consecutive`. Keep this below
+    /// the retry policy's `max_attempts` and every transient schedule is
+    /// absorbed. Ignored by permanent plans.
+    pub max_consecutive: u32,
+    /// Inject spurious `EIO` errors.
+    pub eio: bool,
+    /// Inject short reads (the buffer comes back truncated).
+    pub short_read: bool,
+    /// Inject single-bit payload corruption. Only absorbed when the file
+    /// carries checksums and verification is enabled — without them a
+    /// flipped bit is silent data corruption, exactly as on real media.
+    pub bit_flip: bool,
+    /// Inject latency spikes (the read succeeds, slowly).
+    pub latency_spike: bool,
+    /// Duration of an injected latency spike.
+    pub spike: Duration,
+    /// Fail scheduled blocks on every attempt with a non-retryable error
+    /// instead of a bounded transient burst.
+    pub permanent: bool,
+}
+
+impl FaultPlan {
+    /// A transient-only schedule: EIO, short reads, and bit flips in
+    /// bursts of at most 2 — absorbable under the default 4-attempt
+    /// retry policy.
+    pub fn transient(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            rate,
+            max_consecutive: 2,
+            eio: true,
+            short_read: true,
+            bit_flip: true,
+            latency_spike: false,
+            spike: Duration::from_micros(200),
+            permanent: false,
+        }
+    }
+
+    /// A permanent schedule: scheduled blocks never succeed.
+    pub fn permanent(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            rate,
+            max_consecutive: u32::MAX,
+            eio: true,
+            short_read: false,
+            bit_flip: false,
+            latency_spike: false,
+            spike: Duration::from_micros(200),
+            permanent: true,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Eio,
+    ShortRead,
+    BitFlip,
+    LatencySpike,
+}
+
+/// Stateless fault injector (the counter is observability, not schedule
+/// state): applies a [`FaultPlan`] to block reads.
+pub struct FaultyDevice {
+    plan: FaultPlan,
+    injected: AtomicU64,
+}
+
+impl FaultyDevice {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultyDevice {
+            plan,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Total faults injected so far (all kinds).
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Relaxed)
+    }
+
+    /// The schedule's verdict for `block`: `None` if the block is clean,
+    /// otherwise the fault kind, the burst length, and the raw hash used
+    /// to derive secondary choices (which bit to flip).
+    fn decide(&self, block: u64) -> Option<(Kind, u32, u64)> {
+        if self.plan.rate <= 0.0 {
+            return None;
+        }
+        let h = mix64(self.plan.seed ^ block.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        if u >= self.plan.rate {
+            return None;
+        }
+        let mut kinds = [Kind::Eio; 4];
+        let mut n = 0;
+        for (enabled, kind) in [
+            (self.plan.eio, Kind::Eio),
+            (self.plan.short_read, Kind::ShortRead),
+            (self.plan.bit_flip, Kind::BitFlip),
+            (self.plan.latency_spike, Kind::LatencySpike),
+        ] {
+            if enabled {
+                kinds[n] = kind;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let kind = kinds[(mix64(h) as usize) % n];
+        let burst = 1 + (h >> 33) as u32 % self.plan.max_consecutive.max(1);
+        Some((kind, burst, h))
+    }
+
+    /// Apply the schedule to attempt number `attempt` (0-based) of a read
+    /// of `block` whose payload is in `buf`. May return an error, truncate
+    /// or corrupt `buf`, or sleep — mirroring how real devices fail.
+    pub fn inject(&self, block: u64, attempt: u32, buf: &mut Vec<u8>) -> Result<(), StorageError> {
+        let Some((kind, burst, h)) = self.decide(block) else {
+            return Ok(());
+        };
+        if self.plan.permanent {
+            self.injected.fetch_add(1, Relaxed);
+            return Err(StorageError::Permanent {
+                detail: format!("injected permanent fault at block {block}"),
+            });
+        }
+        if attempt >= burst {
+            return Ok(());
+        }
+        self.injected.fetch_add(1, Relaxed);
+        match kind {
+            Kind::Eio => Err(StorageError::Transient {
+                detail: format!("injected EIO at block {block}"),
+                attempts: 0,
+            }),
+            Kind::ShortRead => {
+                buf.truncate(buf.len() / 2);
+                Ok(())
+            }
+            Kind::BitFlip => {
+                if !buf.is_empty() {
+                    let bit = (h >> 17) % (buf.len() as u64 * 8);
+                    buf[(bit / 8) as usize] ^= 1 << (bit % 8);
+                }
+                Ok(())
+            }
+            Kind::LatencySpike => {
+                std::thread::sleep(self.plan.spike);
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let a = FaultyDevice::new(FaultPlan::transient(7, 0.5));
+        let b = FaultyDevice::new(FaultPlan::transient(7, 0.5));
+        for block in 0..200 {
+            assert_eq!(a.decide(block), b.decide(block), "block {block}");
+        }
+        let c = FaultyDevice::new(FaultPlan::transient(8, 0.5));
+        assert!(
+            (0..200).any(|blk| a.decide(blk) != c.decide(blk)),
+            "different seeds must give different schedules"
+        );
+    }
+
+    #[test]
+    fn rate_bounds_are_respected() {
+        let never = FaultyDevice::new(FaultPlan::transient(1, 0.0));
+        assert!((0..500).all(|b| never.decide(b).is_none()));
+        let always = FaultyDevice::new(FaultPlan::transient(1, 1.0));
+        assert!((0..500).all(|b| always.decide(b).is_some()));
+        let half = FaultyDevice::new(FaultPlan::transient(1, 0.5));
+        let hits = (0..1000).filter(|&b| half.decide(b).is_some()).count();
+        assert!((300..700).contains(&hits), "rate 0.5 hit {hits}/1000");
+    }
+
+    #[test]
+    fn transient_bursts_end_within_max_consecutive() {
+        let dev = FaultyDevice::new(FaultPlan::transient(3, 1.0));
+        for block in 0..100 {
+            let mut buf = vec![0xEEu8; 64];
+            // After max_consecutive attempts the read must come back clean.
+            let clean = vec![0xEEu8; 64];
+            let mut recovered = false;
+            for attempt in 0..=dev.plan().max_consecutive {
+                buf = clean.clone();
+                if dev.inject(block, attempt, &mut buf).is_ok() && buf == clean {
+                    recovered = true;
+                    break;
+                }
+            }
+            assert!(recovered, "block {block} never recovered");
+        }
+    }
+
+    #[test]
+    fn permanent_plan_fails_every_attempt_with_permanent_error() {
+        let dev = FaultyDevice::new(FaultPlan::permanent(9, 1.0));
+        for attempt in 0..10 {
+            let mut buf = vec![0u8; 16];
+            let err = dev.inject(0, attempt, &mut buf).unwrap_err();
+            assert!(matches!(err, StorageError::Permanent { .. }));
+            assert!(!err.is_retryable());
+        }
+        assert_eq!(dev.injected(), 10);
+    }
+
+    #[test]
+    fn bit_flip_corrupts_exactly_one_bit() {
+        let plan = FaultPlan {
+            eio: false,
+            short_read: false,
+            latency_spike: false,
+            ..FaultPlan::transient(11, 1.0)
+        };
+        let dev = FaultyDevice::new(plan);
+        let clean = vec![0u8; 128];
+        let mut buf = clean.clone();
+        dev.inject(0, 0, &mut buf).unwrap();
+        let flipped: u32 = buf
+            .iter()
+            .zip(&clean)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(flipped, 1);
+    }
+
+    #[test]
+    fn short_read_truncates_buffer() {
+        let plan = FaultPlan {
+            eio: false,
+            bit_flip: false,
+            latency_spike: false,
+            ..FaultPlan::transient(13, 1.0)
+        };
+        let dev = FaultyDevice::new(plan);
+        let mut buf = vec![0u8; 100];
+        dev.inject(0, 0, &mut buf).unwrap();
+        assert_eq!(buf.len(), 50);
+    }
+}

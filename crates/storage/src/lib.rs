@@ -21,16 +21,27 @@
 //!   internal channels, each serving one request per fixed service time.
 //! * [`iops`] — the multithreaded random-read microbenchmark that
 //!   regenerates Figure 1.
+//! * [`error`] / [`retry`] / [`fault`] / [`checksum`] — the fault model:
+//!   typed [`StorageError`]s, bounded retry with jittered exponential
+//!   backoff, deterministic seed-driven fault injection, and end-to-end
+//!   file checksums (header CRC, offsets sum, per-chunk edge sums).
 
+pub mod checksum;
 pub mod device;
+pub mod error;
 pub mod ext_builder;
+pub mod fault;
 pub mod format;
 pub mod iops;
 pub mod reader;
+pub mod retry;
 pub mod writer;
 
 pub use device::{DeviceModel, SimulatedFlash};
+pub use error::StorageError;
 pub use ext_builder::build_sem_from_edge_list;
+pub use fault::{FaultPlan, FaultyDevice};
 pub use format::SemHeader;
-pub use reader::SemGraph;
+pub use reader::{IoStats, SemConfig, SemGraph};
+pub use retry::RetryPolicy;
 pub use writer::write_sem_graph;

@@ -1,0 +1,85 @@
+//! Retry policy for failed SEM block reads.
+//!
+//! Bounded attempts, exponential backoff with deterministic jitter, and an
+//! overall wall-clock deadline measured from the *first* failure — the
+//! fast path (first attempt succeeds) never reads the clock and never
+//! touches this module, so the retry capability costs nothing when the
+//! device is healthy.
+
+use std::time::Duration;
+
+/// Bounded-retry parameters applied to each block read.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per block read, first try included. `1` disables
+    /// retries entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Wall-clock budget per block read, measured from the first failure.
+    /// Once exceeded, the next failure is surfaced instead of retried.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(50),
+            max_backoff: Duration::from_millis(2),
+            deadline: Duration::from_secs(1),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: every failure is surfaced immediately.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// Backoff to sleep before retry number `retry` (1-based), jittered to
+    /// 50–150% of the exponential step so concurrent workers retrying the
+    /// same failed region do not stampede in lockstep. `nonce` seeds the
+    /// jitter deterministically.
+    pub fn backoff(&self, retry: u32, nonce: u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << retry.saturating_sub(1).min(16))
+            .min(self.max_backoff);
+        let jitter = 0.5 + (crate::fault::mix64(nonce) >> 11) as f64 / (1u64 << 53) as f64;
+        exp.mul_f64(jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::default();
+        // Jitter is bounded to [0.5, 1.5) of the exponential step.
+        let b1 = p.backoff(1, 1);
+        assert!(b1 >= p.base_backoff / 2 && b1 < p.base_backoff * 3 / 2);
+        let b10 = p.backoff(10, 1);
+        assert!(b10 <= p.max_backoff * 3 / 2);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_nonce() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(2, 42), p.backoff(2, 42));
+        assert_ne!(p.backoff(2, 42), p.backoff(2, 43));
+    }
+
+    #[test]
+    fn none_policy_is_single_attempt() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+}

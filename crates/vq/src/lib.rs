@@ -65,6 +65,6 @@ pub mod state;
 pub mod visitor;
 
 pub use config::VqConfig;
-pub use queue::{PushCtx, RunStats, VisitorQueue};
+pub use queue::{AbortedRun, PushCtx, RunStats, VisitorQueue};
 pub use state::AtomicStateArray;
-pub use visitor::{VisitHandler, Visitor};
+pub use visitor::{AbortReason, FallibleVisitHandler, VisitHandler, Visitor};

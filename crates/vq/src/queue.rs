@@ -26,7 +26,7 @@
 
 use crate::bucket::BucketQueue;
 use crate::config::VqConfig;
-use crate::visitor::{VisitHandler, Visitor};
+use crate::visitor::{AbortReason, FallibleVisitHandler, VisitHandler, Visitor};
 use asyncgt_obs::{Counter, Gauge, HistKind, NoopRecorder, Recorder};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -77,6 +77,13 @@ struct Shared<V> {
     pending: AtomicU64,
     /// Set when a handler panicked; workers drain out and exit.
     poisoned: AtomicBool,
+    /// Set when a fallible handler returned `Err`; workers drain out and
+    /// exit, and the run returns the captured reason. Reuses the poison
+    /// wakeup machinery (`wake_all`) so parked workers leave promptly.
+    aborted: AtomicBool,
+    /// First abort reason (later failures are dropped — by the time they
+    /// occur the run is already coming down).
+    abort_reason: Mutex<Option<AbortReason>>,
 }
 
 /// Queue selection: Fibonacci multiplicative hash of the target vertex,
@@ -96,6 +103,25 @@ impl<V: Visitor> Shared<V> {
     #[inline]
     fn route(&self, vertex: u64) -> usize {
         route_of(vertex, self.inboxes.len())
+    }
+
+    /// Whether the run is coming down early (panic or abort) and workers
+    /// should drop remaining work and exit.
+    #[inline]
+    fn halted(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire) || self.aborted.load(Ordering::Acquire)
+    }
+
+    /// Record an abort: capture the first reason, flag the run, and wake
+    /// every parked worker so the teardown is prompt.
+    fn abort(&self, reason: AbortReason) {
+        let mut slot = self.abort_reason.lock();
+        if slot.is_none() {
+            *slot = Some(reason);
+        }
+        drop(slot);
+        self.aborted.store(true, Ordering::Release);
+        self.wake_all();
     }
 
     /// Wake every parked worker (termination or poison).
@@ -227,6 +253,40 @@ impl<'a, V: Visitor> Drop for PoisonOnPanic<'a, V> {
     }
 }
 
+/// An aborted traversal: the first [`AbortReason`] a fallible handler
+/// returned, plus the (partial) statistics accumulated before teardown.
+pub struct AbortedRun {
+    /// The first `Err` a handler surfaced.
+    pub reason: AbortReason,
+    /// Partial statistics: counts cover work completed before the abort.
+    pub stats: RunStats,
+}
+
+impl std::fmt::Debug for AbortedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AbortedRun")
+            .field("reason", &self.reason)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl std::fmt::Display for AbortedRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "traversal aborted after {} visitors: {}",
+            self.stats.visitors_executed, self.reason
+        )
+    }
+}
+
+impl std::error::Error for AbortedRun {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(self.reason.as_ref())
+    }
+}
+
 /// The multithreaded asynchronous visitor queue (paper Algorithms 1 & 3's
 /// `pri_q_visit`).
 pub struct VisitorQueue;
@@ -258,11 +318,48 @@ impl VisitorQueue {
         I: IntoIterator<Item = V>,
         R: Recorder,
     {
+        // The blanket FallibleVisitHandler impl for VisitHandler never
+        // returns Err, so an abort is impossible here.
+        Self::try_run_recorded(cfg, handler, init, recorder)
+            .unwrap_or_else(|a| unreachable!("infallible handler aborted: {}", a.reason))
+    }
+
+    /// Fallible run: like [`Self::run`], but a handler returning `Err`
+    /// aborts the traversal — the first reason is captured, all workers
+    /// drain out promptly (parked ones are woken through the poison wakeup
+    /// machinery), and the reason is returned with the partial stats.
+    ///
+    /// # Panics
+    /// Re-raises any panic from a handler after all workers have exited.
+    pub fn try_run<V, H, I>(cfg: &VqConfig, handler: &H, init: I) -> Result<RunStats, AbortedRun>
+    where
+        V: Visitor,
+        H: FallibleVisitHandler<V>,
+        I: IntoIterator<Item = V>,
+    {
+        Self::try_run_recorded(cfg, handler, init, &NoopRecorder)
+    }
+
+    /// [`Self::try_run`] with a metrics [`Recorder`].
+    pub fn try_run_recorded<V, H, I, R>(
+        cfg: &VqConfig,
+        handler: &H,
+        init: I,
+        recorder: &R,
+    ) -> Result<RunStats, AbortedRun>
+    where
+        V: Visitor,
+        H: FallibleVisitHandler<V>,
+        I: IntoIterator<Item = V>,
+        R: Recorder,
+    {
         let num_threads = cfg.num_threads.max(1);
         let shared = Shared {
             inboxes: (0..num_threads).map(|_| Inbox::new()).collect(),
             pending: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            abort_reason: Mutex::new(None),
         };
 
         // Seed: distribute initial visitors to their owners' inboxes. The
@@ -310,7 +407,15 @@ impl VisitorQueue {
         }
 
         stats.elapsed = start.elapsed();
-        stats
+        if shared.aborted.load(Ordering::Acquire) {
+            let reason = shared
+                .abort_reason
+                .lock()
+                .take()
+                .expect("aborted flag set without a reason");
+            return Err(AbortedRun { reason, stats });
+        }
+        Ok(stats)
     }
 }
 
@@ -324,7 +429,7 @@ struct WorkerStats {
     inbox_batches: u64,
 }
 
-fn worker_loop<V: Visitor, H: VisitHandler<V>, R: Recorder>(
+fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
     shared: &Shared<V>,
     handler: &H,
     id: usize,
@@ -373,8 +478,9 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>, R: Recorder>(
         }
 
         if let Some(v) = heap.pop() {
-            if shared.poisoned.load(Ordering::Acquire) {
-                // Another worker panicked: drop remaining work and leave.
+            if shared.halted() {
+                // Another worker panicked or aborted: drop remaining work
+                // and leave.
                 break 'outer;
             }
             let mut ctx = PushCtx {
@@ -390,12 +496,14 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>, R: Recorder>(
             } else {
                 None
             };
-            handler.visit(v, &mut ctx);
+            let outcome = handler.try_visit(v, &mut ctx);
             if let Some(t0) = visit_start {
                 recorder.observe(HistKind::ServiceTimeNs, t0.elapsed().as_nanos() as u64);
             }
             if ctx.local_pushes > 0 {
                 // Publish deferred-increment local pushes (see PushCtx).
+                // Done even on an aborting visit so the counter never
+                // under-counts while other workers are still checking it.
                 shared
                     .pending
                     .fetch_add(ctx.local_pushes, Ordering::Relaxed);
@@ -409,6 +517,12 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>, R: Recorder>(
             stats.pushed += ctx.pushed;
             stats.local_pushes += ctx.local_pushes;
             stats.executed += 1;
+            if let Err(reason) = outcome {
+                // The failing visit aborts the run: flag it, wake everyone,
+                // and leave. Remaining queued work is deliberately dropped.
+                shared.abort(reason);
+                break 'outer;
+            }
             debt += 1;
             if debt >= DEBT_FLUSH {
                 shared.complete(debt);
@@ -438,9 +552,7 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>, R: Recorder>(
             if inbox.has_mail.load(Ordering::Acquire) {
                 continue 'outer;
             }
-            if shared.pending.load(Ordering::Acquire) == 0
-                || shared.poisoned.load(Ordering::Acquire)
-            {
+            if shared.pending.load(Ordering::Acquire) == 0 || shared.halted() {
                 break 'outer;
             }
             std::thread::yield_now();
@@ -463,9 +575,7 @@ fn worker_loop<V: Visitor, H: VisitHandler<V>, R: Recorder>(
                 }
                 break;
             }
-            if shared.pending.load(Ordering::Acquire) == 0
-                || shared.poisoned.load(Ordering::Acquire)
-            {
+            if shared.pending.load(Ordering::Acquire) == 0 || shared.halted() {
                 break 'outer;
             }
             // Timed wait: bounds the missed-notify race (a pusher notifies
@@ -719,6 +829,86 @@ mod tests {
             VisitorQueue::run(&VqConfig::with_threads(4), &Bomb, [B(0)])
         });
         assert!(result.is_err(), "panic must propagate to the caller");
+    }
+
+    /// Fallible chain handler that fails at a chosen vertex.
+    struct FailingChain {
+        n: u64,
+        fail_at: u64,
+        visits: AtomicU64,
+    }
+    impl crate::FallibleVisitHandler<Chain> for FailingChain {
+        fn try_visit(
+            &self,
+            v: Chain,
+            ctx: &mut PushCtx<'_, Chain>,
+        ) -> Result<(), crate::AbortReason> {
+            self.visits.fetch_add(1, AO::Relaxed);
+            if v.0 == self.fail_at {
+                return Err(format!("injected failure at vertex {}", v.0).into());
+            }
+            if v.0 + 1 < self.n {
+                ctx.push(Chain(v.0 + 1));
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn try_run_with_infallible_handler_matches_run() {
+        let h = ChainHandler {
+            n: 1000,
+            visits: AtomicU64::new(0),
+        };
+        let s = VisitorQueue::try_run(&VqConfig::with_threads(4), &h, [Chain(0)]).unwrap();
+        assert_eq!(h.visits.load(AO::Relaxed), 1000);
+        assert_eq!(s.visitors_executed, 1000);
+    }
+
+    #[test]
+    fn failing_visit_aborts_run_with_reason_and_partial_stats() {
+        for threads in [1, 4, 32] {
+            let h = FailingChain {
+                n: 10_000,
+                fail_at: 500,
+                visits: AtomicU64::new(0),
+            };
+            let err = VisitorQueue::try_run(&VqConfig::with_threads(threads), &h, [Chain(0)])
+                .expect_err("run must abort");
+            assert!(
+                err.reason.to_string().contains("vertex 500"),
+                "threads={threads}: {}",
+                err.reason
+            );
+            // The chain is strictly sequential, so exactly 501 visits ran
+            // (0..=500) regardless of thread count — nothing after the
+            // failure may execute.
+            assert_eq!(h.visits.load(AO::Relaxed), 501, "threads={threads}");
+            assert_eq!(err.stats.visitors_executed, 501);
+            assert!(err.to_string().contains("aborted after 501 visitors"));
+        }
+    }
+
+    #[test]
+    fn abort_wakes_parked_workers_promptly() {
+        // Many oversubscribed workers, sequential work: most workers park.
+        // The abort must wake and release all of them well within the test
+        // timeout (a hang here is the bug this guards against).
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let h = FailingChain {
+                n: 100_000,
+                fail_at: 2_000,
+                visits: AtomicU64::new(0),
+            };
+            let err = VisitorQueue::try_run(&VqConfig::with_threads(64), &h, [Chain(0)])
+                .expect_err("run must abort");
+            tx.send(err.stats.visitors_executed).unwrap();
+        });
+        let executed = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("aborted run must tear down promptly, not hang");
+        assert_eq!(executed, 2_001);
     }
 
     #[test]

@@ -42,6 +42,32 @@ pub trait VisitHandler<V: Visitor>: Sync {
     fn visit(&self, v: V, ctx: &mut PushCtx<'_, V>);
 }
 
+/// The error a fallible visit surfaces to abort the run. Type-erased so the
+/// runtime stays independent of any particular storage layer; downstream
+/// layers downcast (e.g. to a storage error) when classifying the failure.
+pub type AbortReason = Box<dyn std::error::Error + Send + Sync + 'static>;
+
+/// Fallible twin of [`VisitHandler`], for traversals whose visits can fail
+/// (semi-external reads exhausting their retry budget, corrupt adjacency).
+///
+/// Returning `Err` from [`try_visit`](Self::try_visit) aborts the run: the
+/// first reason is captured, every worker drains out promptly (parked
+/// workers are woken), and
+/// [`VisitorQueue::try_run`](crate::VisitorQueue::try_run) returns the
+/// reason plus the partial stats. Every infallible [`VisitHandler`] is
+/// trivially a `FallibleVisitHandler` via the blanket impl.
+pub trait FallibleVisitHandler<V: Visitor>: Sync {
+    /// Process one visitor, or fail — which cleanly aborts the run.
+    fn try_visit(&self, v: V, ctx: &mut PushCtx<'_, V>) -> Result<(), AbortReason>;
+}
+
+impl<V: Visitor, H: VisitHandler<V>> FallibleVisitHandler<V> for H {
+    fn try_visit(&self, v: V, ctx: &mut PushCtx<'_, V>) -> Result<(), AbortReason> {
+        self.visit(v, ctx);
+        Ok(())
+    }
+}
+
 /// Adapter: wrap a visitor type so its vertex id is ignored in the ordering,
 /// leaving only the primary priority. Used by the semi-sort ablation to
 /// measure what the paper's secondary vertex-id sort key is worth.

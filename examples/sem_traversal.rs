@@ -55,6 +55,7 @@ fn main() {
                 cache_blocks: 512,
                 device: Some(device.clone()),
                 metrics: recorder.clone().map(|r| r as _),
+                ..SemConfig::default()
             },
         )
         .expect("open SEM graph");

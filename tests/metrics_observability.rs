@@ -144,6 +144,7 @@ fn sem_run_captures_io_metrics() {
             cache_blocks: 64,
             device: None,
             metrics: Some(rec.clone() as _),
+            ..SemConfig::default()
         },
     )
     .unwrap();

@@ -76,6 +76,63 @@ fn panic_at_high_thread_count_does_not_hang() {
 }
 
 #[test]
+fn random_visitor_panic_at_8x_oversubscription_unwinds_promptly() {
+    // 8x-oversubscribed workers (8 * available cores), a handler that
+    // panics on one randomly-chosen visitor mid-flood: the run must unwind
+    // within a generous timeout — no hang, no deadlock on parked workers.
+    let cores = std::thread::available_parallelism().map_or(8, |p| p.get());
+    let threads = 8 * cores;
+
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct V(u64);
+    impl Visitor for V {
+        fn target(&self) -> u64 {
+            self.0
+        }
+    }
+    struct RandomBomb {
+        victim: u64,
+    }
+    impl VisitHandler<V> for RandomBomb {
+        fn visit(&self, v: V, ctx: &mut PushCtx<'_, V>) {
+            if v.0 == self.victim {
+                panic!("random bomb at visitor {}", v.0);
+            }
+            // Flood: two children per visitor keeps every worker busy.
+            if v.0 < 50_000 {
+                ctx.push(V(2 * v.0 + 1));
+                ctx.push(V(2 * v.0 + 2));
+            }
+        }
+    }
+
+    // Derive the victim from wall-clock entropy so repeated CI runs cover
+    // different panic sites; print it so failures reproduce.
+    let victim = 1 + std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap()
+        .subsec_nanos() as u64
+        % 40_000;
+    println!("threads={threads} victim={victim}");
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let result = std::panic::catch_unwind(|| {
+            VisitorQueue::run(
+                &VqConfig::with_threads(threads),
+                &RandomBomb { victim },
+                [V(0)],
+            )
+        });
+        tx.send(result.is_err()).unwrap();
+    });
+    match rx.recv_timeout(std::time::Duration::from_secs(60)) {
+        Ok(panicked) => assert!(panicked, "victim {victim} must be visited and panic"),
+        Err(_) => panic!("run hung after handler panic (threads={threads}, victim={victim})"),
+    }
+}
+
+#[test]
 fn empty_and_tiny_workloads_at_many_threads() {
     // More threads than work items: most workers never see a visitor.
     let g = RmatGenerator::new(RmatParams::RMAT_A, 6, 4, 25).directed();

@@ -28,6 +28,7 @@ fn sem_bfs_equals_in_memory_across_block_sizes() {
                     cache_blocks,
                     device: None,
                     metrics: None,
+                    ..SemConfig::default()
                 },
             )
             .unwrap();
@@ -94,6 +95,7 @@ fn sem_through_simulated_devices_matches() {
                 cache_blocks: 64,
                 device: Some(device.clone()),
                 metrics: None,
+                ..SemConfig::default()
             },
         )
         .unwrap();
