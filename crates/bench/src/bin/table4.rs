@@ -45,6 +45,11 @@ fn main() {
     let sem_threads = env_usize("ASYNCGT_SEM_THREADS", 256);
     let block_kb = env_usize("ASYNCGT_BLOCK_KB", 8);
     let cache_blocks = env_usize("ASYNCGT_CACHE_BLOCKS", 0);
+    // I/O scheduler knobs: visitors drained per service round, speculative
+    // readahead blocks per coalesced run, prefetch-pool threads.
+    let io_batch = env_usize("ASYNCGT_IO_BATCH", 1);
+    let readahead = env_usize("ASYNCGT_READAHEAD", 0);
+    let prefetch_threads = env_usize("ASYNCGT_PREFETCH_THREADS", 0);
     let source = 0u64;
 
     let mut header = vec![
@@ -82,6 +87,8 @@ fn main() {
                     cache_blocks,
                     device: Some(dev),
                     metrics: None,
+                    readahead,
+                    prefetch_threads,
                     ..SemConfig::default()
                 };
 
@@ -95,7 +102,13 @@ fn main() {
                 // Async SEM: oversubscribed threads saturate the channels.
                 let dev = Arc::new(SimulatedFlash::new(model));
                 let sem = as_sem(&g, &format!("t4_{name}_{scale}"), sem_cfg(dev));
-                let (out, t_async) = time(|| bfs(&sem, source, &Config::with_threads(sem_threads)));
+                let (out, t_async) = time(|| {
+                    bfs(
+                        &sem,
+                        source,
+                        &Config::with_threads(sem_threads).with_io_batch(io_batch),
+                    )
+                });
                 check_shortest_paths(&sem, source, &out, true).expect("SEM BFS invalid");
                 assert_eq!(out.dist, bgl.dist, "SEM BFS mismatch on {}", model.name);
 
@@ -132,13 +145,15 @@ fn main() {
                 cache_blocks,
                 device: Some(Arc::new(SimulatedFlash::new(model))),
                 metrics: Some(rec.clone() as _),
+                readahead,
+                prefetch_threads,
                 ..SemConfig::default()
             },
         );
         let _ = bfs_recorded(
             &sem,
             source,
-            &Config::with_threads(sem_threads),
+            &Config::with_threads(sem_threads).with_io_batch(io_batch),
             rec.as_ref(),
         );
         let mut snap = rec.snapshot();

@@ -29,6 +29,9 @@ const VALUED: &[&str] = &[
     "--retry-attempts",
     "--retry-backoff-us",
     "--retry-deadline-ms",
+    "--io-batch",
+    "--readahead",
+    "--prefetch-threads",
     "-o",
 ];
 

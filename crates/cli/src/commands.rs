@@ -75,6 +75,14 @@ anything else (binary edge list). MODEL: fusionio | intel | corsair.
 --metrics prints a per-worker counter/histogram summary; --metrics-json
 writes the versioned MetricsSnapshot JSON (implies collection).
 
+I/O scheduler (traversal subcommands):
+  --io-batch N          visitors drained per service round; batches above 1
+                        coalesce adjacent block reads (default 1)
+  --readahead N         speculative blocks appended per coalesced read
+                        (default 0)
+  --prefetch-threads N  threads issuing coalesced reads concurrently
+                        (default 0: inline on the traversal worker)
+
 storage fault injection & retry (traversal subcommands):
   --fault-rate P        inject faults on fraction P of block reads (0 off)
   --fault-seed S        deterministic fault schedule seed (default 1)
@@ -295,6 +303,8 @@ fn sem_config(args: &Args, metrics: Option<Arc<ShardedRecorder>>) -> Result<SemC
         retry,
         faults,
         verify_checksums: !args.has("no-verify-checksums"),
+        readahead: args.get_parsed("--readahead", 0usize)?,
+        prefetch_threads: args.get_parsed("--prefetch-threads", 0usize)?,
     })
 }
 
@@ -341,7 +351,7 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), CliError> {
 
     let sem_cfg = sem_config(args, recorder.clone())?;
     let sem = SemGraph::open_with(path, sem_cfg).map_err(|e| rt(format!("open {path}: {e}")))?;
-    let cfg = Config::with_threads(threads);
+    let cfg = Config::with_threads(threads).with_io_batch(args.get_parsed("--io-batch", 1usize)?);
 
     let t = Instant::now();
     let run_stats = match algo {
@@ -403,11 +413,17 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), CliError> {
     );
     let io_stats = sem.io_stats();
     println!(
-        "I/O             : {} adjacency reads, {} block misses, {:.1} MB",
+        "I/O             : {} adjacency reads, {} device reads, {:.1} MB",
         io_stats.adjacency_reads,
-        io_stats.cache_misses,
+        io_stats.block_fetches,
         io_stats.bytes_read as f64 / 1e6
     );
+    if io_stats.blocks_coalesced > 0 || io_stats.readahead_hits > 0 {
+        println!(
+            "I/O sched       : {} blocks coalesced in {} merged reads, {} readahead hits",
+            io_stats.blocks_coalesced, io_stats.reads_merged, io_stats.readahead_hits
+        );
+    }
     if io_stats.retries > 0 || io_stats.faults_fatal > 0 {
         println!(
             "faults          : {} retries, {} absorbed, {} fatal",

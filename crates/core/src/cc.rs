@@ -79,6 +79,21 @@ impl<'a, G: Graph> FallibleVisitHandler<CcVisitor> for CcHandler<'a, G> {
         }
         Ok(())
     }
+
+    fn prepare_batch(&self, batch: &[CcVisitor]) {
+        // Mirror of the SSSP batch hint: announce the adjacency lists this
+        // round will flood, skipping visitors whose candidate id no longer
+        // improves the label (their visit reads nothing). Stale label
+        // reads can only over-include — labels are monotone decreasing.
+        let targets: Vec<u64> = batch
+            .iter()
+            .filter(|v| (v.ccid as u64) < self.ccid.get(v.vertex as u64))
+            .map(|v| v.vertex as u64)
+            .collect();
+        if !targets.is_empty() {
+            self.g.prefetch_adjacency(&targets);
+        }
+    }
 }
 
 /// Result of an asynchronous connected-components run.

@@ -42,6 +42,14 @@ pub struct Config {
     /// [`VqConfig::sort_buckets`]) — the paper's SEM semi-sort. On by
     /// default; the `ablation` bench quantifies it.
     pub sort_buckets: bool,
+
+    /// Visitors a worker drains per service round (see
+    /// [`VqConfig::batch_drain`]). At values above 1, semi-external
+    /// traversals announce each semi-sorted batch to the storage layer's
+    /// I/O scheduler, which coalesces the upcoming adjacency reads into
+    /// fewer, larger device requests. `1` (default) preserves the classic
+    /// one-visitor service loop; results are identical at any setting.
+    pub io_batch: usize,
 }
 
 impl Config {
@@ -59,6 +67,12 @@ impl Config {
         self
     }
 
+    /// Set the per-round drain size (see [`Config::io_batch`]).
+    pub fn with_io_batch(mut self, io_batch: usize) -> Self {
+        self.io_batch = io_batch.max(1);
+        self
+    }
+
     /// Derive the underlying visitor-queue configuration.
     /// `default_shift` is the per-algorithm class width used when the user
     /// did not override [`Config::priority_shift`].
@@ -68,6 +82,7 @@ impl Config {
         vq.park_timeout = self.park_timeout;
         vq.priority_shift = self.priority_shift.unwrap_or(default_shift);
         vq.sort_buckets = self.sort_buckets;
+        vq.batch_drain = self.io_batch.max(1);
         vq
     }
 }
@@ -87,6 +102,7 @@ impl Default for Config {
             park_timeout: vq.park_timeout,
             priority_shift: None,
             sort_buckets: true,
+            io_batch: 1,
         }
     }
 }
@@ -114,5 +130,14 @@ mod tests {
         let vq = c.vq(0);
         assert_eq!(vq.num_threads, 9);
         assert_eq!(vq.spin_iters, 3);
+        assert_eq!(vq.batch_drain, 1, "default stays single-visitor");
+    }
+
+    #[test]
+    fn io_batch_builder_clamps_and_propagates() {
+        assert_eq!(Config::with_threads(2).with_io_batch(0).io_batch, 1);
+        let c = Config::with_threads(2).with_io_batch(32);
+        assert_eq!(c.io_batch, 32);
+        assert_eq!(c.vq(0).batch_drain, 32);
     }
 }

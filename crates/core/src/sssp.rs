@@ -117,6 +117,24 @@ impl<'a, G: Graph> FallibleVisitHandler<SsspVisitor> for SsspHandler<'a, G> {
         }
         Ok(())
     }
+
+    fn prepare_batch(&self, batch: &[SsspVisitor]) {
+        // Announce the adjacency lists this service round will read so a
+        // semi-external backend can coalesce them into fewer device
+        // requests. Visitors whose candidate no longer improves the label
+        // are filtered: their visit relaxes nothing and reads no
+        // adjacency. The label check uses the same stale-tolerant read as
+        // pruning — labels only decrease, so a stale value can only keep
+        // a vertex in the hint, never drop a needed one.
+        let targets: Vec<u64> = batch
+            .iter()
+            .filter(|v| v.dist < self.dist.get(v.vertex as u64))
+            .map(|v| v.vertex as u64)
+            .collect();
+        if !targets.is_empty() {
+            self.g.prefetch_adjacency(&targets);
+        }
+    }
 }
 
 /// Build a [`TraversalStats`] from engine [`RunStats`] plus the handler's

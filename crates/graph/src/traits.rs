@@ -118,6 +118,15 @@ pub trait Graph: Sync {
         false
     }
 
+    /// Hint that the adjacency lists of `vertices` are about to be read.
+    ///
+    /// Semi-external backends translate the hint into coalesced,
+    /// concurrently issued block reads (the I/O scheduler); in-memory
+    /// graphs keep the default no-op. Purely advisory: correctness never
+    /// depends on it, and failures during speculative reads are deferred
+    /// to the subsequent demand read.
+    fn prefetch_adjacency(&self, _vertices: &[Vertex]) {}
+
     /// Collect the out-neighbors of `v` (convenience; allocates).
     fn neighbors(&self, v: Vertex) -> Vec<Vertex> {
         let mut out = Vec::with_capacity(self.out_degree(v) as usize);
@@ -148,6 +157,9 @@ impl<G: Graph> Graph for &G {
     }
     fn is_weighted(&self) -> bool {
         (**self).is_weighted()
+    }
+    fn prefetch_adjacency(&self, vertices: &[Vertex]) {
+        (**self).prefetch_adjacency(vertices)
     }
 }
 

@@ -66,10 +66,17 @@ pub enum Counter {
     FaultsAbsorbed,
     /// Faults that exhausted the retry budget and aborted the read.
     FaultsFatal,
+    /// Device reads saved by merging adjacent blocks into one request
+    /// (`demand_blocks - 1` per coalesced run).
+    BlocksCoalesced,
+    /// Scheduler runs that merged two or more demanded blocks.
+    ReadsMerged,
+    /// Adjacency block lookups served by a speculative readahead block.
+    ReadaheadHits,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 17] = [
+    pub const ALL: [Counter; 20] = [
         Counter::VisitorsPushed,
         Counter::VisitorsExecuted,
         Counter::LocalPushes,
@@ -87,6 +94,9 @@ impl Counter {
         Counter::Retries,
         Counter::FaultsAbsorbed,
         Counter::FaultsFatal,
+        Counter::BlocksCoalesced,
+        Counter::ReadsMerged,
+        Counter::ReadaheadHits,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -109,6 +119,9 @@ impl Counter {
             Counter::Retries => "retries",
             Counter::FaultsAbsorbed => "faults_absorbed",
             Counter::FaultsFatal => "faults_fatal",
+            Counter::BlocksCoalesced => "blocks_coalesced",
+            Counter::ReadsMerged => "reads_merged",
+            Counter::ReadaheadHits => "readahead_hits",
         }
     }
 }
@@ -130,15 +143,24 @@ pub enum HistKind {
     /// Nanoseconds from first failed attempt to eventual success of a
     /// retried block read (backoff included).
     RetryLatencyNs,
+    /// Blocks per scheduler run (demand + readahead) issued as one read.
+    CoalescedReadBlocks,
+    /// Scheduler runs in flight per prefetch batch.
+    InflightDepth,
+    /// Visitors drained from the bucket queue per service round.
+    BatchDrainSize,
 }
 
 impl HistKind {
-    pub const ALL: [HistKind; 5] = [
+    pub const ALL: [HistKind; 8] = [
         HistKind::ServiceTimeNs,
         HistKind::InboxBatchSize,
         HistKind::QueueDepth,
         HistKind::ReadLatencyNs,
         HistKind::RetryLatencyNs,
+        HistKind::CoalescedReadBlocks,
+        HistKind::InflightDepth,
+        HistKind::BatchDrainSize,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -149,6 +171,9 @@ impl HistKind {
             HistKind::QueueDepth => "queue_depth",
             HistKind::ReadLatencyNs => "read_latency_ns",
             HistKind::RetryLatencyNs => "retry_latency_ns",
+            HistKind::CoalescedReadBlocks => "coalesced_read_blocks",
+            HistKind::InflightDepth => "inflight_depth",
+            HistKind::BatchDrainSize => "batch_drain_size",
         }
     }
 }
@@ -262,6 +287,19 @@ pub trait MetricSink: Send + Sync {
     /// One fault outcome: absorbed by retry (`fatal == false`) or
     /// surfaced to the caller after exhausting the budget.
     fn io_fault(&self, _fatal: bool) {}
+
+    /// One I/O-scheduler run issued as a single device read:
+    /// `demand_blocks` adjacent blocks the batch demanded, `total_blocks`
+    /// including speculative readahead. Default no-op keeps older sinks
+    /// source-compatible.
+    fn sched_run(&self, _demand_blocks: u64, _total_blocks: u64) {}
+
+    /// One prefetch batch dispatched with `runs` coalesced reads in
+    /// flight.
+    fn sched_batch(&self, _runs: u64) {}
+
+    /// An adjacency block lookup served by a speculative readahead block.
+    fn readahead_hit(&self) {}
 }
 
 thread_local! {
@@ -491,6 +529,22 @@ impl MetricSink for ShardedRecorder {
             1,
         );
     }
+
+    fn sched_run(&self, demand_blocks: u64, total_blocks: u64) {
+        self.counter(Counter::BlocksCoalesced, demand_blocks.saturating_sub(1));
+        if demand_blocks >= 2 {
+            self.counter(Counter::ReadsMerged, 1);
+        }
+        self.observe(HistKind::CoalescedReadBlocks, total_blocks);
+    }
+
+    fn sched_batch(&self, runs: u64) {
+        self.observe(HistKind::InflightDepth, runs);
+    }
+
+    fn readahead_hit(&self) {
+        self.counter(Counter::ReadaheadHits, 1);
+    }
 }
 
 #[cfg(test)]
@@ -584,6 +638,24 @@ mod tests {
         let lat = snap.histograms.get(HistKind::ReadLatencyNs);
         assert_eq!(lat.count, 2);
         assert_eq!(lat.sum, 2400);
+    }
+
+    #[test]
+    fn metric_sink_routes_scheduler_events() {
+        let r = ShardedRecorder::new(1);
+        let sink: &dyn MetricSink = &r;
+        sink.sched_run(4, 6); // 4 demanded blocks + 2 readahead, one read
+        sink.sched_run(1, 1); // singleton run: nothing coalesced
+        sink.sched_batch(2);
+        sink.readahead_hit();
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("blocks_coalesced"), 3);
+        assert_eq!(snap.counter("reads_merged"), 1);
+        assert_eq!(snap.counter("readahead_hits"), 1);
+        let runs = snap.histograms.get(HistKind::CoalescedReadBlocks);
+        assert_eq!(runs.count, 2);
+        assert_eq!(runs.sum, 7);
+        assert_eq!(snap.histograms.get(HistKind::InflightDepth).count, 1);
     }
 
     #[test]

@@ -96,13 +96,21 @@ pub fn render_summary(snap: &MetricsSnapshot) -> String {
     if let Some(io) = &snap.io {
         let _ = writeln!(
             out,
-            "  io: {} reads, {} bytes, cache {}/{} ({:.1}% hit)",
+            "  io: {} reads, {} device reads, {} bytes, cache {}/{} ({:.1}% hit)",
             io.adjacency_reads,
+            io.block_fetches,
             io.bytes_read,
             io.cache_hits,
             io.cache_hits + io.cache_misses,
             100.0 * io.cache_hit_rate()
         );
+        if io.blocks_coalesced + io.reads_merged + io.readahead_hits > 0 {
+            let _ = writeln!(
+                out,
+                "  sched: {} blocks coalesced, {} merged reads, {} readahead hits",
+                io.blocks_coalesced, io.reads_merged, io.readahead_hits
+            );
+        }
         if io.retries + io.faults_absorbed + io.faults_fatal > 0 {
             let _ = writeln!(
                 out,
@@ -139,9 +147,13 @@ mod tests {
             cache_hits: 1,
             cache_misses: 0,
             bytes_read: 4096,
+            block_fetches: 1,
             retries: 3,
             faults_absorbed: 3,
             faults_fatal: 0,
+            blocks_coalesced: 2,
+            reads_merged: 1,
+            readahead_hits: 1,
         });
         let text = render_summary(&snap);
         assert!(text.contains("visitors_pushed"));
@@ -151,6 +163,8 @@ mod tests {
         assert!(text.contains("traversal"));
         assert!(text.contains("termination: 1 worker exits"));
         assert!(text.contains("100.0% hit"));
+        assert!(text.contains("1 device reads"));
+        assert!(text.contains("sched: 2 blocks coalesced, 1 merged reads, 1 readahead hits"));
         assert!(text.contains("faults: 3 retries, 3 absorbed, 0 fatal"));
     }
 

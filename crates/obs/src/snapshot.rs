@@ -24,8 +24,10 @@
 //!   "phases": [ { "name": "traversal", "start_us": 0, "end_us": 100 } ],
 //!   "timeline": [ { "t_us": 90, "worker": 3, "label": "worker_exit" } ],
 //!   "io": { "adjacency_reads": 10, "cache_hits": 8, "cache_misses": 2,
-//!           "bytes_read": 81920, "retries": 0, "faults_absorbed": 0,
-//!           "faults_fatal": 0 }
+//!           "bytes_read": 81920, "block_fetches": 2, "retries": 0,
+//!           "faults_absorbed": 0, "faults_fatal": 0,
+//!           "blocks_coalesced": 0, "reads_merged": 0,
+//!           "readahead_hits": 0 }
 //! }
 //! ```
 
@@ -104,12 +106,20 @@ pub struct IoSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub bytes_read: u64,
+    /// Device read operations (single-block fetches plus coalesced runs).
+    pub block_fetches: u64,
     /// Block reads re-issued after a retryable fault.
     pub retries: u64,
     /// Faults absorbed by a successful retry.
     pub faults_absorbed: u64,
     /// Faults that exhausted the retry budget.
     pub faults_fatal: u64,
+    /// Device reads saved by merging adjacent blocks into one request.
+    pub blocks_coalesced: u64,
+    /// Scheduler runs that merged two or more demanded blocks.
+    pub reads_merged: u64,
+    /// Adjacency block lookups served by a speculative readahead block.
+    pub readahead_hits: u64,
 }
 
 impl IoSnapshot {
@@ -257,9 +267,13 @@ impl MetricsSnapshot {
                     ("cache_hits".into(), Value::Int(io.cache_hits)),
                     ("cache_misses".into(), Value::Int(io.cache_misses)),
                     ("bytes_read".into(), Value::Int(io.bytes_read)),
+                    ("block_fetches".into(), Value::Int(io.block_fetches)),
                     ("retries".into(), Value::Int(io.retries)),
                     ("faults_absorbed".into(), Value::Int(io.faults_absorbed)),
                     ("faults_fatal".into(), Value::Int(io.faults_fatal)),
+                    ("blocks_coalesced".into(), Value::Int(io.blocks_coalesced)),
+                    ("reads_merged".into(), Value::Int(io.reads_merged)),
+                    ("readahead_hits".into(), Value::Int(io.readahead_hits)),
                 ]),
             ));
         }
@@ -440,17 +454,21 @@ impl MetricsSnapshot {
                         .and_then(Value::as_u64)
                         .ok_or_else(|| format!("io missing {f:?}"))
                 };
-                // Fault fields are additive (schema version unchanged):
-                // absent in older snapshots, so they default to zero.
+                // Fault and scheduler fields are additive (schema version
+                // unchanged): absent in older snapshots, default to zero.
                 let opt = |f: &str| io.get(f).and_then(Value::as_u64).unwrap_or(0);
                 Some(IoSnapshot {
                     adjacency_reads: num("adjacency_reads")?,
                     cache_hits: num("cache_hits")?,
                     cache_misses: num("cache_misses")?,
                     bytes_read: num("bytes_read")?,
+                    block_fetches: opt("block_fetches"),
                     retries: opt("retries"),
                     faults_absorbed: opt("faults_absorbed"),
                     faults_fatal: opt("faults_fatal"),
+                    blocks_coalesced: opt("blocks_coalesced"),
+                    reads_merged: opt("reads_merged"),
+                    readahead_hits: opt("readahead_hits"),
                 })
             }
         };
@@ -493,9 +511,13 @@ mod tests {
             cache_hits: 3,
             cache_misses: 1,
             bytes_read: 16384,
+            block_fetches: 1,
             retries: 2,
             faults_absorbed: 2,
             faults_fatal: 0,
+            blocks_coalesced: 0,
+            reads_merged: 0,
+            readahead_hits: 0,
         });
         snap
     }

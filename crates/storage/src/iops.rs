@@ -8,7 +8,7 @@
 
 use crate::device::{DeviceModel, SimulatedFlash};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
 /// One measured point of the IOPS curve.
@@ -22,27 +22,40 @@ pub struct IopsSample {
 
 /// Measure random-read IOPS with `threads` concurrent submitters for
 /// `duration` wall-clock time.
+///
+/// The measurement window opens once every submitter has reached the
+/// start barrier and closes when the completion counter is sampled —
+/// before the stop flag is raised, so thread teardown and join time never
+/// enter the denominator. Timing the whole spawn-to-join span instead
+/// would understate high-thread-count IOPS (spawn/join overhead grows
+/// with the thread count while the window stays fixed), flattening
+/// exactly the scaling curve Figure 1 exists to show.
 pub fn measure_iops(device: &Arc<SimulatedFlash>, threads: usize, duration: Duration) -> f64 {
     let stop = AtomicBool::new(false);
     let completed = AtomicU64::new(0);
-    let start = Instant::now();
+    let ready = Barrier::new(threads + 1);
     std::thread::scope(|s| {
         for _ in 0..threads {
             let device = Arc::clone(device);
             let stop = &stop;
             let completed = &completed;
+            let ready = &ready;
             s.spawn(move || {
+                ready.wait();
                 while !stop.load(Ordering::Relaxed) {
                     device.read(|| {});
                     completed.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
+        ready.wait();
+        let start = Instant::now();
         std::thread::sleep(duration);
+        let ops = completed.load(Ordering::Relaxed);
+        let elapsed = start.elapsed().as_secs_f64();
         stop.store(true, Ordering::Relaxed);
-    });
-    let elapsed = start.elapsed().as_secs_f64();
-    completed.load(Ordering::Relaxed) as f64 / elapsed
+        ops as f64 / elapsed
+    })
 }
 
 /// Sweep the thread counts of paper Fig. 1 (powers of two, 1–256) for one

@@ -25,6 +25,11 @@
 //!   typed [`StorageError`]s, bounded retry with jittered exponential
 //!   backoff, deterministic seed-driven fault injection, and end-to-end
 //!   file checksums (header CRC, offsets sum, per-chunk edge sums).
+//! * [`io_sched`] — the I/O scheduler: batches of demanded blocks are
+//!   deduplicated, merged into runs of consecutive blocks, extended by
+//!   optional sequential readahead, and issued concurrently through a
+//!   small prefetch pool, turning the visitor queues' semi-sorted access
+//!   order into fewer, larger device reads.
 
 pub mod checksum;
 pub mod device;
@@ -32,6 +37,7 @@ pub mod error;
 pub mod ext_builder;
 pub mod fault;
 pub mod format;
+pub mod io_sched;
 pub mod iops;
 pub mod reader;
 pub mod retry;
@@ -42,6 +48,7 @@ pub use error::StorageError;
 pub use ext_builder::build_sem_from_edge_list;
 pub use fault::{FaultPlan, FaultyDevice};
 pub use format::SemHeader;
+pub use io_sched::{plan_runs, BlockRun};
 pub use reader::{IoStats, SemConfig, SemGraph};
 pub use retry::RetryPolicy;
 pub use writer::write_sem_graph;

@@ -18,12 +18,13 @@ use crate::device::SimulatedFlash;
 use crate::error::StorageError;
 use crate::fault::FaultyDevice;
 use crate::format::{SemHeader, HEADER_BYTES};
+use crate::io_sched::{plan_runs, BlockRun, PrefetchPool, StagedRun};
 use crate::retry::RetryPolicy;
 use asyncgt_graph::{Graph, NeighborError, Vertex, Weight};
 use asyncgt_obs::{IoSnapshot, MetricSink};
 use parking_lot::Mutex;
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fs::File;
 use std::io::{Read, Seek, SeekFrom};
 use std::os::unix::fs::FileExt;
@@ -59,11 +60,19 @@ pub struct SemConfig {
     /// chunks). Cache hits are never re-verified: only verified blocks
     /// enter the cache.
     pub verify_checksums: bool,
+    /// Speculative sequential readahead, in blocks, appended to each
+    /// coalesced run the I/O scheduler issues (`0` disables). Only
+    /// effective through [`SemGraph::prefetch_adjacency`].
+    pub readahead: usize,
+    /// Worker threads in the prefetch pool that issues coalesced runs
+    /// concurrently (`0` issues them inline on the calling thread).
+    pub prefetch_threads: usize,
 }
 
 impl Default for SemConfig {
     /// 64 KiB blocks, 4096-block (256 MiB) cache, no simulated device,
-    /// default retry policy, checksum verification on.
+    /// default retry policy, checksum verification on, no readahead, no
+    /// prefetch pool.
     fn default() -> Self {
         SemConfig {
             block_size: 64 * 1024,
@@ -73,6 +82,8 @@ impl Default for SemConfig {
             retry: RetryPolicy::default(),
             faults: None,
             verify_checksums: true,
+            readahead: 0,
+            prefetch_threads: 0,
         }
     }
 }
@@ -87,6 +98,8 @@ impl std::fmt::Debug for SemConfig {
             .field("retry", &self.retry)
             .field("faults", &self.faults.is_some())
             .field("verify_checksums", &self.verify_checksums)
+            .field("readahead", &self.readahead)
+            .field("prefetch_threads", &self.prefetch_threads)
             .finish()
     }
 }
@@ -97,7 +110,6 @@ impl std::fmt::Debug for SemConfig {
 struct BlockCache {
     shards: Vec<Mutex<Shard>>,
     capacity_per_shard: usize,
-    hits: AtomicU64,
 }
 
 struct Shard {
@@ -119,18 +131,26 @@ impl BlockCache {
                 })
                 .collect(),
             capacity_per_shard: capacity_blocks.div_ceil(CACHE_SHARDS),
-            hits: AtomicU64::new(0),
         }
     }
 
+    /// Lookup without accounting: hit/miss counting happens at the
+    /// adjacency-serving call site, so scheduler probes never inflate the
+    /// cache statistics.
     fn get(&self, block: u64) -> Option<Arc<[u8]>> {
-        let shard = self.shards[(block as usize) % CACHE_SHARDS].lock();
-        let hit = shard.blocks.get(&block).cloned();
-        drop(shard);
-        if hit.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-        }
-        hit
+        self.shards[(block as usize) % CACHE_SHARDS]
+            .lock()
+            .blocks
+            .get(&block)
+            .cloned()
+    }
+
+    /// Presence probe for the scheduler (cheaper than `get`: no clone).
+    fn contains(&self, block: u64) -> bool {
+        self.shards[(block as usize) % CACHE_SHARDS]
+            .lock()
+            .blocks
+            .contains_key(&block)
     }
 
     fn insert(&self, block: u64, data: Arc<[u8]>) {
@@ -152,13 +172,20 @@ pub struct IoStats {
     /// Adjacency-list fetches (one per `for_each_neighbor` on a non-empty
     /// vertex — the paper's one-I/O-per-visit unit).
     pub adjacency_reads: u64,
-    /// Blocks served from the cache.
+    /// Adjacency-serving block lookups answered by the cache. Always `0`
+    /// when the cache is disabled; scheduler probes are never counted.
     pub cache_hits: u64,
-    /// Blocks fetched from the device/file (every fetch when the cache is
-    /// disabled; cache misses otherwise).
+    /// Adjacency-serving block lookups the cache could not answer. Always
+    /// `0` when the cache is disabled. With the cache enabled,
+    /// `cache_hits + cache_misses` equals the number of adjacency-serving
+    /// block lookups.
     pub cache_misses: u64,
     /// Bytes fetched from the device/file.
     pub bytes_read: u64,
+    /// Device read operations actually issued: single-block fetches plus
+    /// coalesced scheduler runs (each run is one read, however many
+    /// blocks it covers). Retried attempts book only on success.
+    pub block_fetches: u64,
     /// Block reads re-issued after a retryable fault.
     pub retries: u64,
     /// Faults absorbed by a successful retry (the traversal never saw
@@ -166,6 +193,14 @@ pub struct IoStats {
     pub faults_absorbed: u64,
     /// Faults that exhausted the retry budget and surfaced as errors.
     pub faults_fatal: u64,
+    /// Device reads saved by merging adjacent demanded blocks into one
+    /// request (`demand - 1` per scheduler run).
+    pub blocks_coalesced: u64,
+    /// Scheduler runs that merged two or more demanded blocks.
+    pub reads_merged: u64,
+    /// Adjacency block lookups served by a speculative readahead block
+    /// (each readahead block counts at most once, on first use).
+    pub readahead_hits: u64,
 }
 
 impl From<IoStats> for IoSnapshot {
@@ -175,9 +210,13 @@ impl From<IoStats> for IoSnapshot {
             cache_hits: s.cache_hits,
             cache_misses: s.cache_misses,
             bytes_read: s.bytes_read,
+            block_fetches: s.block_fetches,
             retries: s.retries,
             faults_absorbed: s.faults_absorbed,
             faults_fatal: s.faults_fatal,
+            blocks_coalesced: s.blocks_coalesced,
+            reads_merged: s.reads_merged,
+            readahead_hits: s.readahead_hits,
         }
     }
 }
@@ -189,21 +228,48 @@ struct EdgeChecksums {
     sums: Vec<u64>,
 }
 
-/// A semi-external CSR graph: offsets in memory, edges on storage.
-pub struct SemGraph {
+/// Everything the read path needs, shared between the owning
+/// [`SemGraph`] and the prefetch pool's worker threads behind one `Arc`:
+/// the file handle, the in-memory vertex index, the block cache, and the
+/// I/O counters.
+pub(crate) struct IoCore {
     file: File,
     header: SemHeader,
     offsets: Vec<u64>,
     config: SemConfig,
     cache: Option<BlockCache>,
     edge_sums: Option<EdgeChecksums>,
+    /// Process-unique id keying the per-thread staging area used by the
+    /// cache-less scheduler, so blocks staged for one graph are never
+    /// served to another.
+    graph_id: u64,
+    /// Readahead blocks staged into the shared cache, awaiting first use
+    /// (readahead-hit accounting). Touched only when `readahead > 0`.
+    readahead_pending: Mutex<HashSet<u64>>,
     adjacency_reads: AtomicU64,
     block_fetches: AtomicU64,
     bytes_read: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     retries: AtomicU64,
     faults_absorbed: AtomicU64,
     faults_fatal: AtomicU64,
+    blocks_coalesced: AtomicU64,
+    reads_merged: AtomicU64,
+    readahead_hits: AtomicU64,
 }
+
+/// A semi-external CSR graph: offsets in memory, edges on storage.
+pub struct SemGraph {
+    core: Arc<IoCore>,
+    /// Prefetch pool issuing coalesced scheduler runs concurrently;
+    /// present iff `config.prefetch_threads > 0`.
+    pool: Option<PrefetchPool>,
+}
+
+/// Source of process-unique graph ids for the staging area. Starts at 1
+/// so a fresh (zeroed) staging slot never matches any graph.
+static NEXT_GRAPH_ID: AtomicU64 = AtomicU64::new(1);
 
 impl SemGraph {
     /// Open a SEM CSR file with default configuration.
@@ -287,47 +353,276 @@ impl SemGraph {
         }
 
         let cache = (config.cache_blocks > 0).then(|| BlockCache::new(config.cache_blocks));
-        Ok(SemGraph {
+        let prefetch_threads = config.prefetch_threads;
+        let core = Arc::new(IoCore {
             file,
             header,
             offsets,
             config,
             cache,
             edge_sums,
+            graph_id: NEXT_GRAPH_ID.fetch_add(1, Ordering::Relaxed),
+            readahead_pending: Mutex::new(HashSet::new()),
             adjacency_reads: AtomicU64::new(0),
             block_fetches: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             faults_absorbed: AtomicU64::new(0),
             faults_fatal: AtomicU64::new(0),
-        })
+            blocks_coalesced: AtomicU64::new(0),
+            reads_merged: AtomicU64::new(0),
+            readahead_hits: AtomicU64::new(0),
+        });
+        let pool =
+            (prefetch_threads > 0).then(|| PrefetchPool::new(Arc::clone(&core), prefetch_threads));
+        Ok(SemGraph { core, pool })
     }
 
     /// The parsed file header.
     pub fn header(&self) -> SemHeader {
-        self.header
+        self.core.header
     }
 
     /// Size of the on-storage edge region in bytes (the paper's
     /// "Size on EM device" column, minus the in-memory index).
     pub fn edge_region_bytes(&self) -> u64 {
-        self.header.num_edges * self.header.record_size()
+        self.core.header.num_edges * self.core.header.record_size()
     }
 
     /// Snapshot of the I/O counters.
     pub fn io_stats(&self) -> IoStats {
+        self.core.io_stats()
+    }
+
+    /// Iterate the adjacency of `v`, surfacing storage failures as typed
+    /// errors instead of panicking — the fallible twin of
+    /// [`Graph::for_each_neighbor`], used by abortable traversals.
+    ///
+    /// A retry-exhausted or non-retryable I/O failure returns
+    /// [`StorageError::Transient`]/[`Permanent`](StorageError::Permanent);
+    /// on-storage corruption (checksum mismatch, out-of-range edge target)
+    /// returns [`StorageError::Corrupt`] tagged with the vertex.
+    pub fn try_for_each_neighbor<F: FnMut(Vertex, Weight)>(
+        &self,
+        v: Vertex,
+        f: F,
+    ) -> Result<(), StorageError> {
+        self.core.try_for_each_neighbor(v, f)
+    }
+
+    /// Stage the blocks covering the adjacency lists of `vertices`: the
+    /// I/O scheduler's entry point, normally reached through
+    /// [`Graph::prefetch_adjacency`] from a traversal worker's batch
+    /// drain.
+    ///
+    /// The demanded block set is deduplicated, merged into runs of
+    /// consecutive blocks, extended by the configured readahead, and
+    /// issued concurrently via the prefetch pool (inline when
+    /// `prefetch_threads == 0`). Validated blocks land in the shared
+    /// cache, or — with the cache disabled — in a per-thread staging area
+    /// consumed by this thread's subsequent demand reads. Purely
+    /// advisory: blocks that fail validation are not staged and no fault
+    /// is booked here; the demand read replays the identical fault
+    /// schedule with full retry accounting.
+    pub fn prefetch_adjacency(&self, vertices: &[Vertex]) {
+        let core = &self.core;
+        let bs = core.config.block_size as u64;
+        let rec = core.header.record_size();
+        let mut blocks: Vec<u64> = Vec::new();
+        for &v in vertices {
+            let lo = core.offsets[v as usize] * rec;
+            let hi = core.offsets[v as usize + 1] * rec;
+            if lo == hi {
+                continue;
+            }
+            blocks.extend(lo / bs..=(hi - 1) / bs);
+        }
+        blocks.sort_unstable();
+        blocks.dedup();
+        match &core.cache {
+            Some(cache) => blocks.retain(|&b| !cache.contains(b)),
+            None => STAGING.with(|cell| {
+                let mut st = cell.borrow_mut();
+                if st.graph != core.graph_id {
+                    st.graph = core.graph_id;
+                    st.blocks.clear();
+                } else {
+                    // Keep only what this batch demands again (including
+                    // still-unused readahead from the previous batch);
+                    // everything else is stale and would leak.
+                    let keep: HashSet<u64> = blocks.iter().copied().collect();
+                    st.blocks.retain(|b, _| keep.contains(b));
+                }
+                blocks.retain(|b| !st.blocks.contains_key(b));
+            }),
+        }
+        if blocks.is_empty() {
+            return;
+        }
+
+        let runs = plan_runs(&blocks, core.config.readahead as u64, core.num_blocks());
+        for run in &runs {
+            core.blocks_coalesced
+                .fetch_add(run.demand - 1, Ordering::Relaxed);
+            if run.demand >= 2 {
+                core.reads_merged.fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(sink) = &core.config.metrics {
+                sink.sched_run(run.demand, run.total);
+            }
+        }
+        if let Some(sink) = &core.config.metrics {
+            sink.sched_batch(runs.len() as u64);
+        }
+
+        let results: Vec<StagedRun> = match &self.pool {
+            Some(pool) if runs.len() > 1 => pool.read_runs(&runs),
+            _ => runs.iter().map(|r| (*r, core.read_run(r))).collect(),
+        };
+
+        match &core.cache {
+            Some(cache) => {
+                let mut pending =
+                    (core.config.readahead > 0).then(|| core.readahead_pending.lock());
+                for (run, staged) in &results {
+                    for (b, data) in staged {
+                        cache.insert(*b, data.clone());
+                        if *b >= run.demand_end() {
+                            if let Some(p) = pending.as_mut() {
+                                p.insert(*b);
+                            }
+                        }
+                    }
+                }
+                // The set only grows for readahead blocks evicted before
+                // use; bound it rather than tracking evictions.
+                if let Some(p) = pending.as_mut() {
+                    if p.len() > (core.config.cache_blocks * 4).max(1 << 16) {
+                        p.clear();
+                    }
+                }
+            }
+            None => STAGING.with(|cell| {
+                let mut st = cell.borrow_mut();
+                st.graph = core.graph_id;
+                for (run, staged) in &results {
+                    for (b, data) in staged {
+                        st.blocks.insert(
+                            *b,
+                            StagedBlock {
+                                data: data.clone(),
+                                readahead: *b >= run.demand_end(),
+                            },
+                        );
+                    }
+                }
+            }),
+        }
+    }
+}
+
+impl IoCore {
+    /// Snapshot of the I/O counters.
+    fn io_stats(&self) -> IoStats {
         IoStats {
             adjacency_reads: self.adjacency_reads.load(Ordering::Relaxed),
-            cache_hits: self
-                .cache
-                .as_ref()
-                .map_or(0, |c| c.hits.load(Ordering::Relaxed)),
-            cache_misses: self.block_fetches.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            block_fetches: self.block_fetches.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             faults_absorbed: self.faults_absorbed.load(Ordering::Relaxed),
             faults_fatal: self.faults_fatal.load(Ordering::Relaxed),
+            blocks_coalesced: self.blocks_coalesced.load(Ordering::Relaxed),
+            reads_merged: self.reads_merged.load(Ordering::Relaxed),
+            readahead_hits: self.readahead_hits.load(Ordering::Relaxed),
         }
+    }
+
+    /// Number of blocks in the edge region (the readahead clamp).
+    fn num_blocks(&self) -> u64 {
+        let edge_bytes = self.header.expected_file_len() - self.header.edges_pos;
+        edge_bytes.div_ceil(self.config.block_size as u64)
+    }
+
+    /// Take `block` from this thread's staging area, if the cache-less
+    /// scheduler staged it for this graph. Consuming a readahead block
+    /// books a readahead hit (once, on first use). Never counts a cache
+    /// hit or miss: staging is not a cache, and demand fetches after a
+    /// staging miss keep the unbatched accounting.
+    fn staged_block(&self, block: u64) -> Option<Arc<[u8]>> {
+        STAGING.with(|cell| {
+            let mut st = cell.borrow_mut();
+            if st.graph != self.graph_id {
+                return None;
+            }
+            let staged = st.blocks.get_mut(&block)?;
+            if staged.readahead {
+                staged.readahead = false;
+                self.readahead_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(sink) = &self.config.metrics {
+                    sink.readahead_hit();
+                }
+            }
+            Some(Arc::clone(&staged.data))
+        })
+    }
+
+    /// Issue one coalesced run as a single positioned read and validate
+    /// each covered block (fault injection at attempt 0, short-read
+    /// check, checksums). Returns only the blocks that validated;
+    /// failures are silent — no fault counters, no error — because the
+    /// demand path replays the identical fault schedule with full retry
+    /// accounting. The read itself books one device read (`block_fetches`
+    /// plus the metrics sink) on success.
+    pub(crate) fn read_run(&self, run: &BlockRun) -> Vec<(u64, Arc<[u8]>)> {
+        let bs = self.config.block_size as u64;
+        let start = self.header.edges_pos + run.start * bs;
+        let file_len = self.header.expected_file_len();
+        let len = (run.total * bs).min(file_len.saturating_sub(start)) as usize;
+        if len == 0 {
+            return Vec::new();
+        }
+        let mut buf = vec![0u8; len];
+        let read_start = self.config.metrics.as_ref().map(|_| Instant::now());
+        let res = match &self.config.device {
+            Some(dev) => dev.read(|| self.file.read_exact_at(&mut buf, start)),
+            None => self.file.read_exact_at(&mut buf, start),
+        };
+        if res.is_err() {
+            return Vec::new();
+        }
+        if let (Some(sink), Some(t0)) = (&self.config.metrics, read_start) {
+            sink.io_read(t0.elapsed().as_nanos() as u64, len as u64);
+        }
+        self.block_fetches.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(len as u64, Ordering::Relaxed);
+
+        let mut out = Vec::with_capacity(run.total as usize);
+        for i in 0..run.total {
+            let block = run.start + i;
+            let lo = (i * bs) as usize;
+            if lo >= len {
+                break;
+            }
+            let mut piece = buf[lo..len.min(lo + bs as usize)].to_vec();
+            let expect = bs.min(file_len.saturating_sub(start + i * bs)) as usize;
+            if let Some(faults) = &self.config.faults {
+                if faults.inject(block, 0, &mut piece).is_err() {
+                    continue;
+                }
+            }
+            if piece.len() < expect {
+                continue;
+            }
+            if self.verify_block(block, start + i * bs, &piece).is_err() {
+                continue;
+            }
+            out.push((block, piece.into()));
+        }
+        out
     }
 
     /// Read one block (by index within the edge region) from storage,
@@ -377,7 +672,11 @@ impl SemGraph {
                     let nonce = block
                         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         .wrapping_add(attempt as u64);
-                    std::thread::sleep(policy.backoff(attempt, nonce));
+                    // Clamp the backoff to the time left before the
+                    // deadline: sleeping past it would overshoot the
+                    // budget by up to a full (jittered) backoff period.
+                    let remaining = policy.deadline.saturating_sub(first.elapsed());
+                    std::thread::sleep(policy.backoff(attempt, nonce).min(remaining));
                 }
             }
         }
@@ -458,12 +757,23 @@ impl SemGraph {
             let data = match &self.cache {
                 Some(cache) => match cache.get(block) {
                     Some(d) => {
+                        self.cache_hits.fetch_add(1, Ordering::Relaxed);
                         if let Some(sink) = &self.config.metrics {
                             sink.cache_access(true);
+                        }
+                        // First adjacency-serving use of a speculative
+                        // readahead block counts as a readahead hit.
+                        if self.config.readahead > 0 && self.readahead_pending.lock().remove(&block)
+                        {
+                            self.readahead_hits.fetch_add(1, Ordering::Relaxed);
+                            if let Some(sink) = &self.config.metrics {
+                                sink.readahead_hit();
+                            }
                         }
                         d
                     }
                     None => {
+                        self.cache_misses.fetch_add(1, Ordering::Relaxed);
                         if let Some(sink) = &self.config.metrics {
                             sink.cache_access(false);
                         }
@@ -472,7 +782,10 @@ impl SemGraph {
                         d
                     }
                 },
-                None => self.fetch_block(block).map_err(|e| e.with_vertex(v))?,
+                None => match self.staged_block(block) {
+                    Some(d) => d,
+                    None => self.fetch_block(block).map_err(|e| e.with_vertex(v))?,
+                },
             };
             let block_start = block * bs;
             let s = lo.max(block_start) - block_start;
@@ -532,23 +845,47 @@ impl SemGraph {
     }
 }
 
+/// One block staged by the cache-less scheduler for the staging thread's
+/// own demand reads. `readahead` marks speculative blocks so their first
+/// use can be booked as a readahead hit.
+struct StagedBlock {
+    data: Arc<[u8]>,
+    readahead: bool,
+}
+
+/// Per-thread staging area for the cache-less I/O scheduler. Keyed by the
+/// process-unique graph id: traversal workers only ever prefetch for the
+/// graph they are traversing, so one slot per thread suffices.
+struct Staging {
+    graph: u64,
+    blocks: HashMap<u64, StagedBlock>,
+}
+
 thread_local! {
     /// Per-thread adjacency staging buffer; reused across reads so the SEM
     /// hot path performs no allocation.
     static ADJ_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+
+    /// Blocks staged by [`SemGraph::prefetch_adjacency`] when the shared
+    /// cache is disabled (graph id 0 matches no graph; see
+    /// `NEXT_GRAPH_ID`).
+    static STAGING: RefCell<Staging> = RefCell::new(Staging {
+        graph: 0,
+        blocks: HashMap::new(),
+    });
 }
 
 impl Graph for SemGraph {
     fn num_vertices(&self) -> u64 {
-        self.header.num_vertices
+        self.core.header.num_vertices
     }
 
     fn num_edges(&self) -> u64 {
-        self.header.num_edges
+        self.core.header.num_edges
     }
 
     fn out_degree(&self, v: Vertex) -> u64 {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        self.core.offsets[v as usize + 1] - self.core.offsets[v as usize]
     }
 
     /// Infallible adjacency iteration for callers that cannot abort (the
@@ -568,7 +905,11 @@ impl Graph for SemGraph {
     }
 
     fn is_weighted(&self) -> bool {
-        self.header.weighted
+        self.core.header.weighted
+    }
+
+    fn prefetch_adjacency(&self, vertices: &[Vertex]) {
+        SemGraph::prefetch_adjacency(self, vertices)
     }
 }
 
@@ -704,8 +1045,55 @@ mod tests {
             sem.for_each_neighbor(v, |_, _| {});
         }
         let s = sem.io_stats();
+        // No cache → no cache statistics, only device reads.
         assert_eq!(s.cache_hits, 0);
+        assert_eq!(s.cache_misses, 0);
+        assert!(s.block_fetches > 0);
         assert!(s.bytes_read > 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn retry_backoff_clamped_to_deadline() {
+        use crate::fault::{FaultPlan, FaultyDevice};
+        use crate::retry::RetryPolicy;
+
+        let g = sample_graph();
+        let path = tmp("deadline_clamp.agt");
+        write_sem_graph(&path, &g).unwrap();
+        // Every attempt faults (unbounded bursts), and each backoff alone
+        // dwarfs the deadline. An unclamped sleep would overshoot to
+        // ~base_backoff; the clamp caps the whole loop near the deadline.
+        let plan = FaultPlan {
+            max_consecutive: u32::MAX,
+            short_read: false,
+            bit_flip: false,
+            ..FaultPlan::transient(11, 1.0)
+        };
+        let sem = SemGraph::open_with(
+            &path,
+            SemConfig {
+                block_size: 4096,
+                cache_blocks: 0,
+                faults: Some(Arc::new(FaultyDevice::new(plan))),
+                retry: RetryPolicy {
+                    max_attempts: 100,
+                    base_backoff: Duration::from_secs(10),
+                    max_backoff: Duration::from_secs(10),
+                    deadline: Duration::from_millis(50),
+                },
+                ..SemConfig::default()
+            },
+        )
+        .unwrap();
+        let t0 = Instant::now();
+        let err = sem.try_for_each_neighbor(0, |_, _| {}).unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(matches!(err, StorageError::Transient { .. }), "{err}");
+        assert!(
+            elapsed < Duration::from_secs(5),
+            "backoff must be clamped to the deadline, took {elapsed:?}"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -959,10 +1347,12 @@ mod tests {
         // Sink events must agree with the graph's own IoStats.
         assert_eq!(snap.counter("cache_hits"), io.cache_hits);
         assert_eq!(snap.counter("cache_misses"), io.cache_misses);
-        assert_eq!(snap.counter("storage_reads"), io.cache_misses);
+        assert_eq!(snap.counter("storage_reads"), io.block_fetches);
         assert_eq!(snap.counter("bytes_read"), io.bytes_read);
+        // Without a scheduler in play every miss is one device read.
+        assert_eq!(io.block_fetches, io.cache_misses);
         let lat = snap.histograms.get(asyncgt_obs::HistKind::ReadLatencyNs);
-        assert_eq!(lat.count, io.cache_misses);
+        assert_eq!(lat.count, io.block_fetches);
         assert!(lat.sum > 0, "read latency must be measured");
         // And IoStats converts losslessly into the snapshot form.
         let io_snap: asyncgt_obs::IoSnapshot = io.into();

@@ -38,6 +38,18 @@ pub struct VqConfig {
     /// *semi-sort* that raises storage access locality for semi-external
     /// graphs (and costs a sequential `sort_unstable` per bucket).
     pub sort_buckets: bool,
+
+    /// Upper bound on visitors a worker drains from its queue per service
+    /// round (`1` preserves strict pop-visit-pop order). Draining a batch
+    /// first exposes the whole semi-sorted batch to the handler through
+    /// [`FallibleVisitHandler::prepare_batch`], which semi-external
+    /// handlers forward to the storage layer's I/O scheduler. Execution
+    /// order within the batch is unchanged, so label-correcting
+    /// traversals converge to the same fixed point at any setting.
+    ///
+    /// [`FallibleVisitHandler::prepare_batch`]:
+    /// crate::FallibleVisitHandler::prepare_batch
+    pub batch_drain: usize,
 }
 
 impl VqConfig {
@@ -52,7 +64,7 @@ impl VqConfig {
 
 impl Default for VqConfig {
     /// One worker per available core, 16 spin iterations, 1 ms park bound,
-    /// exact priorities, semi-sorted buckets.
+    /// exact priorities, semi-sorted buckets, single-visitor drains.
     fn default() -> Self {
         VqConfig {
             num_threads: std::thread::available_parallelism()
@@ -62,6 +74,7 @@ impl Default for VqConfig {
             park_timeout: Duration::from_millis(1),
             priority_shift: 0,
             sort_buckets: true,
+            batch_drain: 1,
         }
     }
 }

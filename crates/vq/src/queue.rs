@@ -38,7 +38,11 @@ pub struct RunStats {
     /// Total visitors executed (≥ vertices visited; label-correcting
     /// traversals may visit a vertex multiple times, paper §III-B).
     pub visitors_executed: u64,
-    /// Total visitors pushed (== executed at termination).
+    /// Total visitors pushed. Equals `visitors_executed` when the run
+    /// terminates normally; aborted (or poisoned) runs return partial
+    /// stats where `visitors_pushed >= visitors_executed`, because
+    /// visitors still queued when the run came down were dropped
+    /// unexecuted.
     pub visitors_pushed: u64,
     /// Pushes that stayed on the pushing worker's own queue (no lock).
     pub local_pushes: u64,
@@ -456,6 +460,11 @@ fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
     // batching introduces.
     const OUTBOX_FLUSH: u64 = 128;
 
+    // Visitors drained for the current service round, in execution order;
+    // reused across rounds so the hot path does not allocate.
+    let batch_drain = cfg.batch_drain.max(1);
+    let mut batch: Vec<V> = Vec::with_capacity(batch_drain);
+
     'outer: loop {
         // Merge any mail into the private heap so priorities interleave.
         if inbox.has_mail.load(Ordering::Acquire) {
@@ -477,62 +486,83 @@ fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
             }
         }
 
-        if let Some(v) = heap.pop() {
-            if shared.halted() {
-                // Another worker panicked or aborted: drop remaining work
-                // and leave.
-                break 'outer;
+        // Drain up to `batch_drain` visitors for this service round. With
+        // the default of 1 this is exactly the classic pop-visit-pop loop;
+        // larger drains expose the semi-sorted batch to the handler first
+        // (I/O scheduling) without changing execution order.
+        while batch.len() < batch_drain {
+            match heap.pop() {
+                Some(v) => batch.push(v),
+                None => break,
             }
-            let mut ctx = PushCtx {
-                shared,
-                worker_id: id,
-                local_heap: &mut heap,
-                outbox: &mut outbox,
-                pushed: 0,
-                local_pushes: 0,
-            };
-            let visit_start = if R::ENABLED {
-                Some(Instant::now())
-            } else {
-                None
-            };
-            let outcome = handler.try_visit(v, &mut ctx);
-            if let Some(t0) = visit_start {
-                recorder.observe(HistKind::ServiceTimeNs, t0.elapsed().as_nanos() as u64);
-            }
-            if ctx.local_pushes > 0 {
-                // Publish deferred-increment local pushes (see PushCtx).
-                // Done even on an aborting visit so the counter never
-                // under-counts while other workers are still checking it.
-                shared
-                    .pending
-                    .fetch_add(ctx.local_pushes, Ordering::Relaxed);
+        }
+        if !batch.is_empty() {
+            if batch.len() > 1 {
+                // Advisory hint before any visitor runs: semi-external
+                // handlers coalesce the batch's adjacency reads here.
+                handler.prepare_batch(&batch);
             }
             if R::ENABLED {
-                recorder.counter(Counter::VisitorsExecuted, 1);
-                recorder.counter(Counter::VisitorsPushed, ctx.pushed);
-                recorder.counter(Counter::LocalPushes, ctx.local_pushes);
-                recorder.counter(Counter::RemotePushes, ctx.pushed - ctx.local_pushes);
+                recorder.observe(HistKind::BatchDrainSize, batch.len() as u64);
             }
-            stats.pushed += ctx.pushed;
-            stats.local_pushes += ctx.local_pushes;
-            stats.executed += 1;
-            if let Err(reason) = outcome {
-                // The failing visit aborts the run: flag it, wake everyone,
-                // and leave. Remaining queued work is deliberately dropped.
-                shared.abort(reason);
-                break 'outer;
-            }
-            debt += 1;
-            if debt >= DEBT_FLUSH {
-                shared.complete(debt);
-                debt = 0;
-            }
-            if outbox.staged >= OUTBOX_FLUSH {
-                if R::ENABLED {
-                    recorder.counter(Counter::OutboxFlushes, 1);
+            for v in batch.drain(..) {
+                if shared.halted() {
+                    // Another worker panicked or aborted: drop remaining
+                    // work and leave.
+                    break 'outer;
                 }
-                outbox.flush(shared);
+                let mut ctx = PushCtx {
+                    shared,
+                    worker_id: id,
+                    local_heap: &mut heap,
+                    outbox: &mut outbox,
+                    pushed: 0,
+                    local_pushes: 0,
+                };
+                let visit_start = if R::ENABLED {
+                    Some(Instant::now())
+                } else {
+                    None
+                };
+                let outcome = handler.try_visit(v, &mut ctx);
+                if let Some(t0) = visit_start {
+                    recorder.observe(HistKind::ServiceTimeNs, t0.elapsed().as_nanos() as u64);
+                }
+                if ctx.local_pushes > 0 {
+                    // Publish deferred-increment local pushes (see PushCtx).
+                    // Done even on an aborting visit so the counter never
+                    // under-counts while other workers are still checking it.
+                    shared
+                        .pending
+                        .fetch_add(ctx.local_pushes, Ordering::Relaxed);
+                }
+                if R::ENABLED {
+                    recorder.counter(Counter::VisitorsExecuted, 1);
+                    recorder.counter(Counter::VisitorsPushed, ctx.pushed);
+                    recorder.counter(Counter::LocalPushes, ctx.local_pushes);
+                    recorder.counter(Counter::RemotePushes, ctx.pushed - ctx.local_pushes);
+                }
+                stats.pushed += ctx.pushed;
+                stats.local_pushes += ctx.local_pushes;
+                stats.executed += 1;
+                if let Err(reason) = outcome {
+                    // The failing visit aborts the run: flag it, wake
+                    // everyone, and leave. Remaining queued work is
+                    // deliberately dropped.
+                    shared.abort(reason);
+                    break 'outer;
+                }
+                debt += 1;
+                if debt >= DEBT_FLUSH {
+                    shared.complete(debt);
+                    debt = 0;
+                }
+                if outbox.staged >= OUTBOX_FLUSH {
+                    if R::ENABLED {
+                        recorder.counter(Counter::OutboxFlushes, 1);
+                    }
+                    outbox.flush(shared);
+                }
             }
             continue;
         }
@@ -885,7 +915,86 @@ mod tests {
             // failure may execute.
             assert_eq!(h.visits.load(AO::Relaxed), 501, "threads={threads}");
             assert_eq!(err.stats.visitors_executed, 501);
+            // Partial-stats invariant: an aborted run drops queued work,
+            // so pushed may exceed executed but never the reverse (the
+            // `pushed == executed` equality only holds at normal
+            // termination).
+            assert!(
+                err.stats.visitors_pushed >= err.stats.visitors_executed,
+                "threads={threads}: pushed {} < executed {}",
+                err.stats.visitors_pushed,
+                err.stats.visitors_executed
+            );
             assert!(err.to_string().contains("aborted after 501 visitors"));
+        }
+    }
+
+    #[test]
+    fn batch_drain_preserves_order_and_calls_prepare() {
+        #[derive(PartialEq, Eq, PartialOrd, Ord)]
+        struct P(u64);
+        impl Visitor for P {
+            fn target(&self) -> u64 {
+                self.0
+            }
+        }
+        struct Rec {
+            order: parking_lot::Mutex<Vec<u64>>,
+            prepared: AtomicU64,
+        }
+        impl crate::FallibleVisitHandler<P> for Rec {
+            fn try_visit(&self, v: P, _ctx: &mut PushCtx<'_, P>) -> Result<(), crate::AbortReason> {
+                self.order.lock().push(v.0);
+                Ok(())
+            }
+            fn prepare_batch(&self, batch: &[P]) {
+                self.prepared.fetch_add(1, AO::Relaxed);
+                assert!(
+                    batch.windows(2).all(|w| w[0] <= w[1]),
+                    "batch must arrive in execution (semi-sorted) order"
+                );
+            }
+        }
+        let h = Rec {
+            order: parking_lot::Mutex::new(Vec::new()),
+            prepared: AtomicU64::new(0),
+        };
+        let cfg = VqConfig {
+            batch_drain: 4,
+            ..VqConfig::with_threads(1)
+        };
+        VisitorQueue::try_run(&cfg, &h, (0..32u64).rev().map(P)).unwrap();
+        // Batched drains must not change execution order.
+        assert_eq!(*h.order.lock(), (0..32).collect::<Vec<u64>>());
+        assert!(
+            h.prepared.load(AO::Relaxed) > 0,
+            "multi-visitor drains must announce the batch"
+        );
+    }
+
+    #[test]
+    fn batch_drain_equivalent_across_sizes_and_threads() {
+        let expect = (1u64 << 11) - 1;
+        for threads in [1, 4, 16] {
+            for bd in [1, 4, 64] {
+                let h = FanHandler {
+                    max_depth: 10,
+                    visits: AtomicU64::new(0),
+                };
+                let cfg = VqConfig {
+                    batch_drain: bd,
+                    ..VqConfig::with_threads(threads)
+                };
+                let s = VisitorQueue::run(&cfg, &h, [Fan { depth: 0, id: 0 }]);
+                assert_eq!(
+                    h.visits.load(AO::Relaxed),
+                    expect,
+                    "threads={threads} bd={bd}"
+                );
+                assert_eq!(s.visitors_executed, expect);
+                // Normal termination: the doc invariant holds exactly.
+                assert_eq!(s.visitors_pushed, s.visitors_executed);
+            }
         }
     }
 

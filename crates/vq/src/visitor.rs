@@ -59,6 +59,15 @@ pub type AbortReason = Box<dyn std::error::Error + Send + Sync + 'static>;
 pub trait FallibleVisitHandler<V: Visitor>: Sync {
     /// Process one visitor, or fail — which cleanly aborts the run.
     fn try_visit(&self, v: V, ctx: &mut PushCtx<'_, V>) -> Result<(), AbortReason>;
+
+    /// Called once per service round with the visitors the worker just
+    /// drained (in execution order), before any of them runs. Purely
+    /// advisory — semi-external handlers use it to hand the batch to the
+    /// storage layer's I/O scheduler, which coalesces the upcoming
+    /// adjacency reads into fewer, larger device requests. The default
+    /// does nothing; only reached when
+    /// [`VqConfig::batch_drain`](crate::VqConfig::batch_drain) exceeds 1.
+    fn prepare_batch(&self, _batch: &[V]) {}
 }
 
 impl<V: Visitor, H: VisitHandler<V>> FallibleVisitHandler<V> for H {

@@ -156,12 +156,15 @@ fn sem_run_captures_io_metrics() {
     let mut snap = rec.snapshot();
     snap.io = Some(io.into());
 
-    assert_eq!(snap.counter("storage_reads"), io.cache_misses);
+    assert_eq!(snap.counter("storage_reads"), io.block_fetches);
     assert_eq!(snap.counter("cache_hits"), io.cache_hits);
     assert_eq!(snap.counter("bytes_read"), io.bytes_read);
+    // Without the I/O scheduler in play (io_batch = 1) every cache miss is
+    // exactly one device read.
+    assert_eq!(io.block_fetches, io.cache_misses);
     let lat = snap.histograms.get(HistKind::ReadLatencyNs);
     assert_eq!(
-        lat.count, io.cache_misses,
+        lat.count, io.block_fetches,
         "one latency sample per device read"
     );
     assert!(lat.sum > 0);
@@ -172,5 +175,6 @@ fn sem_run_captures_io_metrics() {
     assert_eq!(round.adjacency_reads, io.adjacency_reads);
     assert_eq!(round.cache_hits, io.cache_hits);
     assert_eq!(round.cache_misses, io.cache_misses);
+    assert_eq!(round.block_fetches, io.block_fetches);
     assert_eq!(round.bytes_read, io.bytes_read);
 }

@@ -30,6 +30,22 @@ fn fault_seeds() -> Vec<u64> {
     }
 }
 
+/// Batch-drain size for the SEM traversal configs: `ASYNCGT_IO_BATCH`
+/// (the CI fault matrix sweeps 1/16/64 so the I/O scheduler's coalesced
+/// and demand read paths both run under injected faults) or the classic
+/// single-visitor drain.
+fn io_batch() -> usize {
+    std::env::var("ASYNCGT_IO_BATCH")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1)
+}
+
+/// Traversal config for the fault-injected SEM runs.
+fn sem_traversal_config(threads: usize) -> Config {
+    Config::with_threads(threads).with_io_batch(io_batch())
+}
+
 /// SEM open configuration with fault injection: small blocks so a
 /// traversal touches many distinct blocks, tight backoff so retries do
 /// not dominate test wall-clock.
@@ -57,7 +73,7 @@ fn transient_faults_preserve_bfs_results() {
     for seed in fault_seeds() {
         let sem =
             SemGraph::open_with(&path, faulty_config(FaultPlan::transient(seed, 0.5), 64)).unwrap();
-        let out = try_bfs(&sem, 0, &Config::with_threads(16))
+        let out = try_bfs(&sem, 0, &sem_traversal_config(16))
             .unwrap_or_else(|e| panic!("seed {seed}: transient faults must be absorbed: {e}"));
         assert_eq!(out.dist, expect.dist, "seed={seed}");
         // Parents may differ on shortest-path ties (async label-correcting
@@ -86,7 +102,7 @@ fn transient_faults_preserve_sssp_results() {
     for seed in fault_seeds() {
         let sem =
             SemGraph::open_with(&path, faulty_config(FaultPlan::transient(seed, 0.3), 32)).unwrap();
-        let out = try_sssp(&sem, 0, &Config::with_threads(16))
+        let out = try_sssp(&sem, 0, &sem_traversal_config(16))
             .unwrap_or_else(|e| panic!("seed {seed}: transient faults must be absorbed: {e}"));
         assert_eq!(out.dist, expect.dist, "seed={seed}");
         assert_eq!(sem.io_stats().faults_fatal, 0, "seed={seed}");
@@ -103,7 +119,7 @@ fn transient_faults_preserve_cc_results() {
     for seed in fault_seeds() {
         let sem =
             SemGraph::open_with(&path, faulty_config(FaultPlan::transient(seed, 0.5), 64)).unwrap();
-        let out = try_connected_components(&sem, &Config::with_threads(16))
+        let out = try_connected_components(&sem, &sem_traversal_config(16))
             .unwrap_or_else(|e| panic!("seed {seed}: transient faults must be absorbed: {e}"));
         assert_eq!(out.ccid, expect.ccid, "seed={seed}");
         assert_eq!(sem.io_stats().faults_fatal, 0, "seed={seed}");
@@ -120,10 +136,18 @@ fn every_read_faulting_once_is_still_absorbed() {
     let expect = bfs(&g, 0, &Config::with_threads(4));
 
     let sem = SemGraph::open_with(&path, faulty_config(FaultPlan::transient(5, 1.0), 0)).unwrap();
-    let out = try_bfs(&sem, 0, &Config::with_threads(8)).unwrap();
+    let out = try_bfs(&sem, 0, &sem_traversal_config(8)).unwrap();
     assert_eq!(out.dist, expect.dist);
     let io = sem.io_stats();
-    assert!(io.faults_absorbed >= io.cache_misses);
+    if io_batch() == 1 {
+        // Unbatched, cache disabled: every device read is a single-block
+        // demand fetch that faulted at least once before succeeding. (With
+        // the I/O scheduler engaged, coalesced run reads also count as
+        // device reads but absorb their faults silently on the demand
+        // retry, so the inequality only holds for io_batch == 1.)
+        assert!(io.faults_absorbed >= io.block_fetches);
+    }
+    assert!(io.faults_absorbed > 0);
     assert_eq!(io.faults_fatal, 0);
 }
 
@@ -138,7 +162,7 @@ fn permanent_faults_abort_with_typed_error() {
             let sem =
                 SemGraph::open_with(&path, faulty_config(FaultPlan::permanent(seed, 1.0), 64))
                     .unwrap();
-            let err = try_bfs(&sem, 0, &Config::with_threads(threads))
+            let err = try_bfs(&sem, 0, &sem_traversal_config(threads))
                 .expect_err("permanent faults must surface");
             match err {
                 TraversalError::Storage(e, stats) => {
@@ -172,7 +196,7 @@ fn sparse_permanent_faults_abort_mid_run() {
 
     let sem =
         SemGraph::open_with(&path, faulty_config(FaultPlan::permanent(2, 0.05), 1024)).unwrap();
-    match try_bfs(&sem, 0, &Config::with_threads(32)) {
+    match try_bfs(&sem, 0, &sem_traversal_config(32)) {
         Err(TraversalError::Storage(_, stats)) => {
             assert!(stats.visitors_executed > 0, "some work happened first")
         }
@@ -195,7 +219,7 @@ fn recorder_sees_retry_and_fault_counters() {
         ..faulty_config(FaultPlan::transient(1, 1.0), 64)
     };
     let sem = SemGraph::open_with(&path, cfg).unwrap();
-    asyncgt::try_bfs_recorded(&sem, 0, &Config::with_threads(8), rec.as_ref()).unwrap();
+    asyncgt::try_bfs_recorded(&sem, 0, &sem_traversal_config(8), rec.as_ref()).unwrap();
 
     let snap = rec.snapshot();
     assert!(snap.counter("retries") > 0);
