@@ -30,6 +30,7 @@ const VALUED: &[&str] = &[
     "--retry-backoff-us",
     "--retry-deadline-ms",
     "--io-batch",
+    "--mailbox",
     "--readahead",
     "--prefetch-threads",
     "-o",

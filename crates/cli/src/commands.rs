@@ -12,7 +12,8 @@ use asyncgt::storage::{
     write_sem_graph, DeviceModel, FaultPlan, FaultyDevice, RetryPolicy, SemGraph, SimulatedFlash,
 };
 use asyncgt::{
-    try_bfs_recorded, try_connected_components_recorded, try_sssp_recorded, Config, TraversalError,
+    try_bfs_recorded, try_connected_components_recorded, try_sssp_recorded, Config, MailboxImpl,
+    TraversalError,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -74,6 +75,12 @@ OUT extension picks the format: .agt (SEM CSR), .txt (text edge list),
 anything else (binary edge list). MODEL: fusionio | intel | corsair.
 --metrics prints a per-worker counter/histogram summary; --metrics-json
 writes the versioned MetricsSnapshot JSON (implies collection).
+
+queue runtime (traversal subcommands):
+  --mailbox lock|lockfree
+                        remote-delivery mailbox: lock-free segmented MPSC
+                        with event-count parking (default) or the mutex +
+                        condvar baseline
 
 I/O scheduler (traversal subcommands):
   --io-batch N          visitors drained per service round; batches above 1
@@ -351,7 +358,10 @@ fn traverse(args: &Args, algo: Algo) -> Result<(), CliError> {
 
     let sem_cfg = sem_config(args, recorder.clone())?;
     let sem = SemGraph::open_with(path, sem_cfg).map_err(|e| rt(format!("open {path}: {e}")))?;
-    let cfg = Config::with_threads(threads).with_io_batch(args.get_parsed("--io-batch", 1usize)?);
+    let mailbox = args.get_parsed("--mailbox", MailboxImpl::default())?;
+    let cfg = Config::with_threads(threads)
+        .with_io_batch(args.get_parsed("--io-batch", 1usize)?)
+        .with_mailbox(mailbox);
 
     let t = Instant::now();
     let run_stats = match algo {
@@ -543,6 +553,21 @@ mod tests {
         assert!(run("generate web --like nope -o x.agt").is_err());
         assert!(run("bfs missing_file.agt").is_err());
         assert!(run("convert only_one_arg").is_err());
+    }
+
+    #[test]
+    fn mailbox_flag_selects_implementation() {
+        let agt = tmp("cli_mailbox.agt");
+        run(&format!("generate rmat --scale 8 -o {agt}")).unwrap();
+        run(&format!("bfs {agt} --threads 4 --mailbox lock --validate")).unwrap();
+        run(&format!(
+            "bfs {agt} --threads 4 --mailbox lockfree --validate"
+        ))
+        .unwrap();
+        assert!(matches!(
+            run(&format!("bfs {agt} --mailbox spinlock")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

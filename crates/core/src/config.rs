@@ -1,6 +1,6 @@
 //! Traversal configuration.
 
-use asyncgt_vq::VqConfig;
+use asyncgt_vq::{MailboxImpl, VqConfig};
 use std::time::Duration;
 
 /// Configuration shared by all asynchronous traversals.
@@ -50,6 +50,11 @@ pub struct Config {
     /// fewer, larger device requests. `1` (default) preserves the classic
     /// one-visitor service loop; results are identical at any setting.
     pub io_batch: usize,
+
+    /// Remote-delivery mailbox implementation (see
+    /// [`MailboxImpl`]). Lock-free by default; the mutex path stays
+    /// selectable so the `mailbox` ablation can A/B the two.
+    pub mailbox: MailboxImpl,
 }
 
 impl Config {
@@ -73,6 +78,12 @@ impl Config {
         self
     }
 
+    /// Select the remote-delivery mailbox (see [`Config::mailbox`]).
+    pub fn with_mailbox(mut self, mailbox: MailboxImpl) -> Self {
+        self.mailbox = mailbox;
+        self
+    }
+
     /// Derive the underlying visitor-queue configuration.
     /// `default_shift` is the per-algorithm class width used when the user
     /// did not override [`Config::priority_shift`].
@@ -83,6 +94,7 @@ impl Config {
         vq.priority_shift = self.priority_shift.unwrap_or(default_shift);
         vq.sort_buckets = self.sort_buckets;
         vq.batch_drain = self.io_batch.max(1);
+        vq.mailbox = self.mailbox;
         vq
     }
 }
@@ -103,6 +115,7 @@ impl Default for Config {
             priority_shift: None,
             sort_buckets: true,
             io_batch: 1,
+            mailbox: vq.mailbox,
         }
     }
 }
@@ -139,5 +152,13 @@ mod tests {
         let c = Config::with_threads(2).with_io_batch(32);
         assert_eq!(c.io_batch, 32);
         assert_eq!(c.vq(0).batch_drain, 32);
+    }
+
+    #[test]
+    fn mailbox_builder_propagates() {
+        assert_eq!(Config::default().mailbox, MailboxImpl::LockFree);
+        let c = Config::with_threads(2).with_mailbox(MailboxImpl::Lock);
+        assert_eq!(c.mailbox, MailboxImpl::Lock);
+        assert_eq!(c.vq(0).mailbox, MailboxImpl::Lock);
     }
 }

@@ -73,10 +73,20 @@ pub enum Counter {
     ReadsMerged,
     /// Adjacency block lookups served by a speculative readahead block.
     ReadaheadHits,
+    /// Failed publish CAS attempts on a lock-free mailbox (contention
+    /// signal; each retry re-reads the head and tries again).
+    MailboxCasRetries,
+    /// Segments published into lock-free mailboxes (one per batched
+    /// delivery, so `visitors / segments` is the delivery batch factor).
+    MailboxSegments,
+    /// Futex-style owner wakeups issued by mailbox producers on the
+    /// empty→non-empty edge (lock-free path only; the mutex path counts
+    /// condvar wakes under `wakes`).
+    MailboxNotifies,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 20] = [
+    pub const ALL: [Counter; 23] = [
         Counter::VisitorsPushed,
         Counter::VisitorsExecuted,
         Counter::LocalPushes,
@@ -97,6 +107,9 @@ impl Counter {
         Counter::BlocksCoalesced,
         Counter::ReadsMerged,
         Counter::ReadaheadHits,
+        Counter::MailboxCasRetries,
+        Counter::MailboxSegments,
+        Counter::MailboxNotifies,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -122,6 +135,9 @@ impl Counter {
             Counter::BlocksCoalesced => "blocks_coalesced",
             Counter::ReadsMerged => "reads_merged",
             Counter::ReadaheadHits => "readahead_hits",
+            Counter::MailboxCasRetries => "mailbox_cas_retries",
+            Counter::MailboxSegments => "mailbox_segments",
+            Counter::MailboxNotifies => "mailbox_notifies",
         }
     }
 }
@@ -149,10 +165,13 @@ pub enum HistKind {
     InflightDepth,
     /// Visitors drained from the bucket queue per service round.
     BatchDrainSize,
+    /// Nanoseconds from a mailbox segment's publish to its drain by the
+    /// owning worker (remote delivery latency, lock-free path).
+    MailboxDeliveryNs,
 }
 
 impl HistKind {
-    pub const ALL: [HistKind; 8] = [
+    pub const ALL: [HistKind; 9] = [
         HistKind::ServiceTimeNs,
         HistKind::InboxBatchSize,
         HistKind::QueueDepth,
@@ -161,6 +180,7 @@ impl HistKind {
         HistKind::CoalescedReadBlocks,
         HistKind::InflightDepth,
         HistKind::BatchDrainSize,
+        HistKind::MailboxDeliveryNs,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -174,6 +194,7 @@ impl HistKind {
             HistKind::CoalescedReadBlocks => "coalesced_read_blocks",
             HistKind::InflightDepth => "inflight_depth",
             HistKind::BatchDrainSize => "batch_drain_size",
+            HistKind::MailboxDeliveryNs => "mailbox_delivery_ns",
         }
     }
 }

@@ -60,11 +60,12 @@
 pub mod bucket;
 pub mod config;
 pub mod dary;
+pub mod mailbox;
 pub mod queue;
 pub mod state;
 pub mod visitor;
 
-pub use config::VqConfig;
+pub use config::{MailboxImpl, VqConfig};
 pub use queue::{AbortedRun, PushCtx, RunStats, VisitorQueue};
 pub use state::AtomicStateArray;
 pub use visitor::{AbortReason, FallibleVisitHandler, VisitHandler, Visitor};

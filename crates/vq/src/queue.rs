@@ -5,11 +5,14 @@
 //! * a **private priority queue** ([`BucketQueue`]: O(1) bucketed
 //!   priorities with optional within-bucket semi-sort) that only its owner
 //!   touches — no lock;
-//! * a shared **inbox** (`Mutex<Vec<V>>`) other workers deliver into;
-//! * an **outbox** staging remote pushes, flushed in batches so the inbox
-//!   lock and the wake-a-parked-owner syscall are amortized over many
-//!   visitors — the mechanism by which the paper's "multiple queues with a
-//!   hash function reduces lock contention".
+//! * a shared **mailbox** ([`Mailbox`]) other workers deliver into — by
+//!   default a lock-free segmented MPSC chain with event-count parking
+//!   (no mutex on the delivery path), with the original `Mutex<Vec<V>>`
+//!   inbox selectable via [`VqConfig::mailbox`] for A/B ablation;
+//! * an **outbox** staging remote pushes, flushed in batches so the
+//!   publish CAS (or inbox lock) and the wake-a-parked-owner syscall are
+//!   amortized over many visitors — the mechanism by which the paper's
+//!   "multiple queues with a hash function reduces lock contention".
 //!
 //! Termination uses a single global counter of *incomplete* visitors:
 //! incremented no later than a visitor becomes drainable by another
@@ -26,9 +29,10 @@
 
 use crate::bucket::BucketQueue;
 use crate::config::VqConfig;
+use crate::mailbox::{self, Mailbox};
 use crate::visitor::{AbortReason, FallibleVisitHandler, VisitHandler, Visitor};
-use asyncgt_obs::{Counter, Gauge, HistKind, NoopRecorder, Recorder};
-use parking_lot::{Condvar, Mutex};
+use asyncgt_obs::{Counter, HistKind, NoopRecorder, Recorder};
+use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
@@ -56,27 +60,11 @@ pub struct RunStats {
     pub num_threads: usize,
 }
 
-/// Shared per-worker mailbox: remote workers push here; the owner drains.
-struct Inbox<V> {
-    mail: Mutex<Vec<V>>,
-    cv: Condvar,
-    /// Cheap emptiness hint so owners skip locking an empty inbox.
-    has_mail: AtomicBool,
-}
-
-impl<V> Inbox<V> {
-    fn new() -> Self {
-        Inbox {
-            mail: Mutex::new(Vec::new()),
-            cv: Condvar::new(),
-            has_mail: AtomicBool::new(false),
-        }
-    }
-}
-
 /// State shared by every worker in one run.
 struct Shared<V> {
-    inboxes: Vec<Inbox<V>>,
+    /// One mailbox per worker; remote workers deliver here, the owner
+    /// drains (see [`Mailbox`] for the two delivery implementations).
+    inboxes: Vec<Mailbox<V>>,
     /// Count of visitors pushed but whose `visit` has not yet returned.
     pending: AtomicU64,
     /// Set when a handler panicked; workers drain out and exit.
@@ -131,7 +119,7 @@ impl<V: Visitor> Shared<V> {
     /// Wake every parked worker (termination or poison).
     fn wake_all(&self) {
         for inbox in &self.inboxes {
-            inbox.cv.notify_all();
+            inbox.wake();
         }
     }
 
@@ -150,47 +138,60 @@ impl<V: Visitor> Shared<V> {
 /// Per-worker buffers of visitors addressed to other workers' queues.
 ///
 /// Remote pushes are staged here and delivered in batches, amortizing the
-/// inbox lock and (more importantly on oversubscribed hosts) the
-/// wake-a-parked-thread syscall over many visitors instead of paying both
-/// per push.
+/// publish CAS (or inbox lock) and (more importantly on oversubscribed
+/// hosts) the wake-a-parked-thread syscall over many visitors instead of
+/// paying both per push.
 struct Outbox<V> {
     buffers: Vec<Vec<V>>,
     /// Total staged visitors across all buffers.
     staged: u64,
+    /// Destinations whose buffer crossed [`FLUSH_PER_DEST`] and should be
+    /// delivered at the next between-visits point. Each destination
+    /// appears at most once (it is recorded exactly when its buffer
+    /// *reaches* the threshold).
+    ready: Vec<usize>,
 }
+
+/// Per-destination delivery threshold. Flushing a buffer only once this
+/// many visitors have accumulated for that destination keeps each
+/// delivery (one publish CAS or one lock acquisition) amortized over a
+/// real batch even when pushes fan out across many queues — a global
+/// staged-total trigger degenerates to couple-of-visitor deliveries at
+/// high thread counts, which is exactly the per-delivery-overhead regime
+/// batching exists to avoid.
+const FLUSH_PER_DEST: usize = 128;
 
 impl<V: Visitor> Outbox<V> {
     fn new(num_queues: usize) -> Self {
         Outbox {
             buffers: (0..num_queues).map(|_| Vec::new()).collect(),
             staged: 0,
+            ready: Vec::new(),
         }
     }
 
-    /// Deliver every staged visitor to its inbox and wake owners whose
-    /// inbox transitioned from empty.
-    fn flush(&mut self, shared: &Shared<V>) {
+    /// Deliver every staged visitor to its mailbox and wake owners whose
+    /// mailbox transitioned from empty. `worker_id` identifies this
+    /// outbox's worker to the destinations' segment-recycling slots.
+    fn flush<R: Recorder>(&mut self, shared: &Shared<V>, worker_id: usize, recorder: &R) {
+        self.ready.clear();
         if self.staged == 0 {
             return;
         }
         for (q, buf) in self.buffers.iter_mut().enumerate() {
-            if buf.is_empty() {
-                continue;
-            }
-            let inbox = &shared.inboxes[q];
-            let newly_nonempty = {
-                let mut mail = inbox.mail.lock();
-                mail.append(buf);
-                // Under the mail lock the flag exactly mirrors "mail may be
-                // non-empty", so the false→true edge identifies the one
-                // flusher responsible for waking the owner.
-                !inbox.has_mail.swap(true, Ordering::AcqRel)
-            };
-            if newly_nonempty {
-                inbox.cv.notify_one();
-            }
+            shared.inboxes[q].deliver(buf, worker_id, recorder);
         }
         self.staged = 0;
+    }
+
+    /// Deliver only the destinations whose buffers crossed
+    /// [`FLUSH_PER_DEST`] (they may have grown further since).
+    fn flush_ready<R: Recorder>(&mut self, shared: &Shared<V>, worker_id: usize, recorder: &R) {
+        while let Some(q) = self.ready.pop() {
+            let buf = &mut self.buffers[q];
+            self.staged -= buf.len() as u64;
+            shared.inboxes[q].deliver(buf, worker_id, recorder);
+        }
     }
 }
 
@@ -227,8 +228,12 @@ impl<'a, V: Visitor> PushCtx<'a, V> {
             // be delivered, or the recipient could complete it and drive
             // the counter to zero while our accounting is still in flight.
             self.shared.pending.fetch_add(1, Ordering::Relaxed);
-            self.outbox.buffers[q].push(v);
+            let buf = &mut self.outbox.buffers[q];
+            buf.push(v);
             self.outbox.staged += 1;
+            if buf.len() == FLUSH_PER_DEST {
+                self.outbox.ready.push(q);
+            }
         }
     }
 
@@ -359,21 +364,27 @@ impl VisitorQueue {
     {
         let num_threads = cfg.num_threads.max(1);
         let shared = Shared {
-            inboxes: (0..num_threads).map(|_| Inbox::new()).collect(),
+            inboxes: (0..num_threads)
+                .map(|_| Mailbox::new(cfg.mailbox, num_threads))
+                .collect(),
             pending: AtomicU64::new(0),
             poisoned: AtomicBool::new(false),
             aborted: AtomicBool::new(false),
             abort_reason: Mutex::new(None),
         };
 
-        // Seed: distribute initial visitors to their owners' inboxes. The
-        // workers have not started, so the mutexes are uncontended.
+        // Seed: group initial visitors by destination queue first, then
+        // deliver each group in one mailbox operation — one lock/CAS per
+        // destination instead of one per seed. The workers have not
+        // started, so nothing contends and no owner needs waking.
+        let mut groups: Vec<Vec<V>> = (0..num_threads).map(|_| Vec::new()).collect();
         let mut seeded: u64 = 0;
         for v in init {
-            let q = shared.route(v.target());
-            shared.inboxes[q].mail.lock().push(v);
-            shared.inboxes[q].has_mail.store(true, Ordering::Release);
+            groups[shared.route(v.target())].push(v);
             seeded += 1;
+        }
+        for (q, mut group) in groups.into_iter().enumerate() {
+            shared.inboxes[q].deliver(&mut group, mailbox::NO_PRODUCER, recorder);
         }
         shared.pending.store(seeded, Ordering::Release);
         if R::ENABLED {
@@ -433,6 +444,12 @@ struct WorkerStats {
     inbox_batches: u64,
 }
 
+/// First idle-spin tier: iterations spent in [`std::hint::spin_loop`]
+/// bursts (cheap, keeps the core; right when mail is nanoseconds away)
+/// before the loop falls back to [`std::thread::yield_now`] (frees the
+/// core; right under oversubscription). Each burst doubles in length.
+const SPIN_HINT_ITERS: u32 = 6;
+
 fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
     shared: &Shared<V>,
     handler: &H,
@@ -441,6 +458,7 @@ fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
     recorder: &R,
 ) -> WorkerStats {
     let inbox = &shared.inboxes[id];
+    inbox.register_owner();
     let mut heap: BucketQueue<V> = BucketQueue::new(cfg.priority_shift, cfg.sort_buckets);
     let mut outbox: Outbox<V> = Outbox::new(shared.inboxes.len());
     let mut stats = WorkerStats::default();
@@ -455,10 +473,12 @@ fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
     // and turns the per-visitor decrement into one amortized subtraction.
     let mut debt: u64 = 0;
     const DEBT_FLUSH: u64 = 256;
-    // Staged remote visitors are delivered once this many accumulate (and
-    // always before this worker idles), bounding the delivery latency the
-    // batching introduces.
-    const OUTBOX_FLUSH: u64 = 128;
+    // Backstop: a full flush once this many visitors are staged in total,
+    // so a push pattern that never fills any single destination buffer
+    // (and always before this worker idles) still bounds the delivery
+    // latency the batching introduces. Set well above FLUSH_PER_DEST so the
+    // per-destination trigger does the delivering on fan-out workloads.
+    let outbox_max_staged: u64 = (FLUSH_PER_DEST * shared.inboxes.len()) as u64;
 
     // Visitors drained for the current service round, in execution order;
     // reused across rounds so the hot path does not allocate.
@@ -467,22 +487,10 @@ fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
 
     'outer: loop {
         // Merge any mail into the private heap so priorities interleave.
-        if inbox.has_mail.load(Ordering::Acquire) {
-            let mut mail = inbox.mail.lock();
-            inbox.has_mail.store(false, Ordering::Release);
-            let batch = mail.len() as u64;
-            if batch > 0 {
+        if inbox.has_mail() {
+            let mail_len = inbox.drain(&mut heap, recorder);
+            if mail_len > 0 {
                 stats.inbox_batches += 1;
-                if R::ENABLED {
-                    recorder.counter(Counter::InboxBatches, 1);
-                    recorder.observe(HistKind::InboxBatchSize, batch);
-                }
-            }
-            heap.extend(mail.drain(..));
-            if R::ENABLED && batch > 0 {
-                let depth = heap.len() as u64;
-                recorder.observe(HistKind::QueueDepth, depth);
-                recorder.gauge_max(Gauge::QueueDepthHwm, depth);
             }
         }
 
@@ -557,11 +565,18 @@ fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
                     shared.complete(debt);
                     debt = 0;
                 }
-                if outbox.staged >= OUTBOX_FLUSH {
+                if !outbox.ready.is_empty() {
+                    // One or more destinations crossed FLUSH_PER_DEST
+                    // during this visit: deliver those full batches only.
                     if R::ENABLED {
                         recorder.counter(Counter::OutboxFlushes, 1);
                     }
-                    outbox.flush(shared);
+                    outbox.flush_ready(shared, id, recorder);
+                } else if outbox.staged >= outbox_max_staged {
+                    if R::ENABLED {
+                        recorder.counter(Counter::OutboxFlushes, 1);
+                    }
+                    outbox.flush(shared, id, recorder);
                 }
             }
             continue;
@@ -573,51 +588,46 @@ fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
         if R::ENABLED && outbox.staged > 0 {
             recorder.counter(Counter::OutboxFlushes, 1);
         }
-        outbox.flush(shared);
+        outbox.flush(shared, id, recorder);
         shared.complete(debt);
         debt = 0;
 
-        // Idle: spin briefly, then park on the inbox condvar.
-        for _ in 0..cfg.spin_iters {
-            if inbox.has_mail.load(Ordering::Acquire) {
+        // Idle: adaptive spin — short doubling spin_loop bursts first
+        // (mail often lands within nanoseconds of a flush), then yields
+        // that surrender the core (the right behaviour when
+        // oversubscribed) — before parking on the mailbox.
+        let mut spun: u32 = 0;
+        while spun < cfg.spin_iters {
+            if inbox.has_mail() {
                 continue 'outer;
             }
             if shared.pending.load(Ordering::Acquire) == 0 || shared.halted() {
                 break 'outer;
             }
-            std::thread::yield_now();
+            if spun < SPIN_HINT_ITERS {
+                for _ in 0..(1u32 << spun) {
+                    std::hint::spin_loop();
+                }
+            } else {
+                std::thread::yield_now();
+            }
+            spun += 1;
         }
 
-        let mut mail = inbox.mail.lock();
-        loop {
-            if !mail.is_empty() {
-                inbox.has_mail.store(false, Ordering::Release);
-                stats.inbox_batches += 1;
-                if R::ENABLED {
-                    recorder.counter(Counter::InboxBatches, 1);
-                    recorder.observe(HistKind::InboxBatchSize, mail.len() as u64);
-                }
-                heap.extend(mail.drain(..));
-                if R::ENABLED {
-                    let depth = heap.len() as u64;
-                    recorder.observe(HistKind::QueueDepth, depth);
-                    recorder.gauge_max(Gauge::QueueDepthHwm, depth);
-                }
-                break;
-            }
-            if shared.pending.load(Ordering::Acquire) == 0 || shared.halted() {
-                break 'outer;
-            }
-            // Timed wait: bounds the missed-notify race (a pusher notifies
-            // between our emptiness check and the wait) without spinning.
-            stats.parks += 1;
-            if R::ENABLED {
-                recorder.counter(Counter::Parks, 1);
-            }
-            let wait = inbox.cv.wait_for(&mut mail, cfg.park_timeout);
-            if R::ENABLED && !wait.timed_out() {
-                recorder.counter(Counter::Wakes, 1);
-            }
+        // Park until mail arrives or the run ends; any mail found is
+        // drained into the heap before idle_wait returns.
+        let idle = inbox.idle_wait(
+            &mut heap,
+            || shared.pending.load(Ordering::Acquire) == 0 || shared.halted(),
+            cfg.park_timeout,
+            recorder,
+        );
+        stats.parks += idle.parks;
+        if idle.exit {
+            break 'outer;
+        }
+        if idle.drained > 0 {
+            stats.inbox_batches += 1;
         }
     }
 
