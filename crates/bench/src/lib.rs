@@ -80,7 +80,7 @@ pub fn thread_counts() -> Vec<usize> {
 
 /// Destination for an instrumented-run metrics snapshot
 /// (`ASYNCGT_METRICS_JSON`). When set, the table binaries re-run one
-/// representative configuration with a [`ShardedRecorder`]
+/// representative configuration with a `ShardedRecorder`
 /// (`asyncgt::obs`) attached and write the versioned JSON snapshot here.
 /// The timed table rows themselves always run uninstrumented.
 pub fn metrics_json_path() -> Option<String> {

@@ -33,6 +33,10 @@ const VALUED: &[&str] = &[
     "--mailbox",
     "--readahead",
     "--prefetch-threads",
+    "--algo",
+    "--count",
+    "--max-concurrent",
+    "--queue-depth",
     "-o",
 ];
 

@@ -12,8 +12,8 @@ use asyncgt::storage::{
     write_sem_graph, DeviceModel, FaultPlan, FaultyDevice, RetryPolicy, SemGraph, SimulatedFlash,
 };
 use asyncgt::{
-    try_bfs_recorded, try_connected_components_recorded, try_sssp_recorded, Config, MailboxImpl,
-    TraversalError,
+    try_bfs_recorded, try_connected_components_recorded, try_sssp_recorded, with_engine, Config,
+    EngineOpts, MailboxImpl, TraversalError,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,11 +70,21 @@ pub const USAGE: &str = "usage:
   agt cc   FILE.agt [--threads T] [--device MODEL] [--validate]
                [--metrics] [--metrics-json OUT.json]
   agt pagerank FILE.agt [--threads T] [--device MODEL]
+  agt queries FILE.agt [--algo bfs|sssp|cc] [--sources V1,V2,…] [--count N]
+               [--max-concurrent M] [--queue-depth D] [--threads T]
+               [--device MODEL] [--metrics] [--metrics-json OUT.json]
 
 OUT extension picks the format: .agt (SEM CSR), .txt (text edge list),
 anything else (binary edge list). MODEL: fusionio | intel | corsair.
 --metrics prints a per-worker counter/histogram summary; --metrics-json
 writes the versioned MetricsSnapshot JSON (implies collection).
+
+concurrent queries (`queries` subcommand): one persistent engine serves
+the whole batch — workers spawn once and park between queries. For
+bfs/sssp each entry of --sources is one single-source query (--count N
+cycles the list to N queries); for cc, --count sets how many full CC
+queries run. --max-concurrent bounds in-flight queries (default 8);
+--queue-depth bounds the admission queue behind it (default 64).
 
 queue runtime (traversal subcommands):
   --mailbox lock|lockfree
@@ -111,6 +121,7 @@ pub fn dispatch(argv: &[String]) -> Result<(), CliError> {
         "sssp" => traverse(&args, Algo::Sssp),
         "cc" => traverse(&args, Algo::Cc),
         "pagerank" => cmd_pagerank(&args),
+        "queries" => cmd_queries(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -337,6 +348,171 @@ fn cmd_pagerank(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `agt queries`: serve a batch of traversal queries from one persistent
+/// engine — workers spawn once, queries multiplex under admission control.
+fn cmd_queries(args: &Args) -> Result<(), CliError> {
+    let path = args.pos(0).ok_or("missing FILE.agt")?;
+    let algo = args.get("--algo").unwrap_or("bfs").to_string();
+    if !matches!(algo.as_str(), "bfs" | "sssp" | "cc") {
+        return Err(format!("unknown --algo {algo:?} (bfs|sssp|cc)").into());
+    }
+    let threads = args.get_parsed("--threads", 16usize)?;
+    let metrics_json = args.get("--metrics-json").map(String::from);
+    let want_metrics = args.has("metrics") || metrics_json.is_some();
+    let recorder = want_metrics.then(|| Arc::new(ShardedRecorder::new(threads)));
+
+    let sem_cfg = sem_config(args, recorder.clone())?;
+    let sem = SemGraph::open_with(path, sem_cfg).map_err(|e| rt(format!("open {path}: {e}")))?;
+    let mailbox = args.get_parsed("--mailbox", MailboxImpl::default())?;
+    let opts = EngineOpts {
+        cfg: Config::with_threads(threads)
+            .with_io_batch(args.get_parsed("--io-batch", 1usize)?)
+            .with_mailbox(mailbox),
+        max_concurrent: args.get_parsed("--max-concurrent", 8usize)?,
+        queue_depth: args.get_parsed("--queue-depth", 64usize)?,
+        ..Default::default()
+    };
+
+    let sources: Vec<u64> = match args.get("--sources") {
+        None => vec![0],
+        Some(list) => list
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .map_err(|_| format!("bad vertex id {s:?} in --sources"))
+            })
+            .collect::<Result<_, String>>()?,
+    };
+    let n = sem.num_vertices();
+    for &s in &sources {
+        if s >= n {
+            return Err(format!("--sources vertex {s} out of range ({n} vertices)").into());
+        }
+    }
+    let count = args.get_parsed("--count", 0usize)?;
+
+    let failures = match &recorder {
+        Some(r) => run_query_batch(&sem, &opts, &algo, &sources, count, r.as_ref())?,
+        None => run_query_batch(&sem, &opts, &algo, &sources, count, &NoopRecorder)?,
+    };
+
+    let io_stats = sem.io_stats();
+    if io_stats.adjacency_reads > 0 {
+        println!(
+            "I/O             : {} adjacency reads, {} device reads, {:.1} MB",
+            io_stats.adjacency_reads,
+            io_stats.block_fetches,
+            io_stats.bytes_read as f64 / 1e6
+        );
+    }
+    if let Some(rec) = &recorder {
+        let mut snap = rec.snapshot();
+        snap.io = Some(io_stats.into());
+        if args.has("metrics") {
+            println!("\n{}", render_summary(&snap));
+        }
+        if let Some(out_path) = &metrics_json {
+            std::fs::write(out_path, snap.to_json_string())
+                .map_err(|e| rt(format!("write {out_path}: {e}")))?;
+            println!("metrics json    : {out_path}");
+        }
+    }
+    if failures > 0 {
+        return Err(rt(format!("{path}: {failures} queries failed")));
+    }
+    Ok(())
+}
+
+/// Submit the whole batch up front (the engine's admission control takes
+/// over), wait on every ticket in submit order, print one line per query.
+/// Returns how many queries failed (rejected or aborted).
+fn run_query_batch<R: asyncgt::obs::Recorder>(
+    sem: &SemGraph,
+    opts: &EngineOpts,
+    algo: &str,
+    sources: &[u64],
+    count: usize,
+    recorder: &R,
+) -> Result<usize, CliError> {
+    let (failures, stats) = if algo == "cc" {
+        with_engine(sem, opts, recorder, |eng| {
+            let mut failures = 0usize;
+            let tickets: Vec<_> = (0..count.max(1)).map(|_| eng.submit_cc()).collect();
+            for (i, t) in tickets.into_iter().enumerate() {
+                match t
+                    .map_err(CliError::from_submit)
+                    .and_then(|t| t.wait().map_err(|e| rt(format!("aborted: {e}"))))
+                {
+                    Ok(out) => println!(
+                        "q{i:<4} cc          : {:>8} components, {:>10} visitors, {:?}",
+                        out.component_count(),
+                        out.stats.visitors_executed,
+                        out.stats.elapsed
+                    ),
+                    Err(e) => {
+                        println!("q{i:<4} cc          : {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            failures
+        })
+    } else {
+        let unit = algo == "bfs";
+        let total = if count > 0 { count } else { sources.len() };
+        with_engine(sem, opts, recorder, |eng| {
+            let mut failures = 0usize;
+            let tickets: Vec<_> = (0..total)
+                .map(|i| {
+                    let s = sources[i % sources.len()];
+                    let t = if unit {
+                        eng.submit_bfs(&[s])
+                    } else {
+                        eng.submit_sssp(&[s])
+                    };
+                    (s, t)
+                })
+                .collect();
+            for (i, (s, t)) in tickets.into_iter().enumerate() {
+                match t
+                    .map_err(CliError::from_submit)
+                    .and_then(|t| t.wait().map_err(|e| rt(format!("aborted: {e}"))))
+                {
+                    Ok(out) => println!(
+                        "q{i:<4} {algo:<4} from {s:>6}: {:>8} reached, {:>10} visitors, {:?}",
+                        out.reached_count(),
+                        out.stats.visitors_executed,
+                        out.stats.elapsed
+                    ),
+                    Err(e) => {
+                        println!("q{i:<4} {algo:<4} from {s:>6}: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            failures
+        })
+    };
+    println!(
+        "engine          : {} workers (spawned once), {} queries, {} parks",
+        stats.num_threads, stats.queries, stats.parks
+    );
+    println!(
+        "throughput      : {:.1} queries/sec over {:?}",
+        stats.queries as f64 / stats.elapsed.as_secs_f64().max(1e-9),
+        stats.elapsed
+    );
+    Ok(failures)
+}
+
+impl CliError {
+    /// A refused submit, rendered like other per-query failures.
+    fn from_submit(e: asyncgt::vq::SubmitError) -> CliError {
+        rt(format!("rejected: {e}"))
+    }
+}
+
 enum Algo {
     Bfs,
     Sssp,
@@ -553,6 +729,54 @@ mod tests {
         assert!(run("generate web --like nope -o x.agt").is_err());
         assert!(run("bfs missing_file.agt").is_err());
         assert!(run("convert only_one_arg").is_err());
+    }
+
+    #[test]
+    fn queries_batch_runs_on_one_engine() {
+        let agt = tmp("cli_queries.agt");
+        run(&format!("generate rmat --scale 8 --weights uw -o {agt}")).unwrap();
+        run(&format!(
+            "queries {agt} --algo bfs --sources 0,5,9 --threads 4 --max-concurrent 2"
+        ))
+        .unwrap();
+        run(&format!(
+            "queries {agt} --algo sssp --sources 3 --count 4 --threads 4"
+        ))
+        .unwrap();
+        run(&format!("queries {agt} --algo cc --count 2 --threads 4")).unwrap();
+    }
+
+    #[test]
+    fn queries_with_metrics_and_device() {
+        let agt = tmp("cli_queries_dev.agt");
+        let json = tmp("cli_queries_metrics.json");
+        run(&format!("generate rmat --scale 8 -o {agt}")).unwrap();
+        run(&format!(
+            "queries {agt} --sources 0,1 --threads 4 --device fusionio --metrics-json {json}"
+        ))
+        .unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        let snap = asyncgt::obs::MetricsSnapshot::from_json_str(&text).unwrap();
+        assert_eq!(snap.counter("queries_completed"), 2);
+        assert!(snap.io.is_some(), "device run must attach I/O stats");
+    }
+
+    #[test]
+    fn queries_rejects_bad_inputs() {
+        let agt = tmp("cli_queries_bad.agt");
+        run(&format!("generate rmat --scale 8 -o {agt}")).unwrap();
+        assert!(matches!(
+            run(&format!("queries {agt} --algo frontier")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&format!("queries {agt} --sources 0,999999")),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&format!("queries {agt} --sources zero")),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -23,9 +23,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// edge per label improvement, so queue compactness matters most here);
 /// [`connected_components`] rejects graphs with ≥ 2^32 vertices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct CcVisitor {
-    ccid: u32,
-    vertex: u32,
+pub(crate) struct CcVisitor {
+    pub ccid: u32,
+    pub vertex: u32,
 }
 
 impl Ord for CcVisitor {
@@ -58,41 +58,64 @@ struct CcHandler<'a, G> {
     prune: bool,
 }
 
+/// The CC relax step (paper Algorithm 4), shared by the one-shot
+/// [`CcHandler`] and the persistent engine's CC jobs ([`crate::engine`]):
+/// relax the component id if the candidate is smaller, then flood it to
+/// every neighbor through `push`. A storage failure surfacing from the
+/// fallible adjacency read aborts the query cleanly.
+pub(crate) fn cc_relax<G: Graph>(
+    g: &G,
+    ccid: &AtomicStateArray,
+    relaxations: &AtomicU64,
+    prune: bool,
+    v: CcVisitor,
+    mut push: impl FnMut(CcVisitor),
+) -> Result<(), AbortReason> {
+    let vertex = v.vertex as u64;
+    if (v.ccid as u64) < ccid.get(vertex) {
+        ccid.set(vertex, v.ccid as u64);
+        relaxations.fetch_add(1, Ordering::Relaxed);
+        g.try_for_each_neighbor(vertex, |t, _| {
+            if prune && v.ccid as u64 >= ccid.get(t) {
+                return;
+            }
+            push(CcVisitor {
+                ccid: v.ccid,
+                vertex: t as u32,
+            });
+        })?;
+    }
+    Ok(())
+}
+
+/// The CC half of the batch I/O hint — mirror of
+/// [`crate::sssp::sssp_prefetch`]: announce the adjacency lists this round
+/// will flood, skipping visitors whose candidate id no longer improves the
+/// label (their visit reads nothing). Stale label reads can only
+/// over-include — labels are monotone decreasing.
+pub(crate) fn cc_prefetch<'v, G: Graph>(
+    g: &G,
+    ccid: &AtomicStateArray,
+    batch: impl Iterator<Item = &'v CcVisitor>,
+) {
+    let targets: Vec<u64> = batch
+        .filter(|v| (v.ccid as u64) < ccid.get(v.vertex as u64))
+        .map(|v| v.vertex as u64)
+        .collect();
+    if !targets.is_empty() {
+        g.prefetch_adjacency(&targets);
+    }
+}
+
 impl<'a, G: Graph> FallibleVisitHandler<CcVisitor> for CcHandler<'a, G> {
     fn try_visit(&self, v: CcVisitor, ctx: &mut PushCtx<'_, CcVisitor>) -> Result<(), AbortReason> {
-        // Algorithm 4: relax the component id if the candidate is smaller,
-        // then flood it to every neighbor. A storage failure surfacing from
-        // the fallible adjacency read aborts the run cleanly.
-        let vertex = v.vertex as u64;
-        if (v.ccid as u64) < self.ccid.get(vertex) {
-            self.ccid.set(vertex, v.ccid as u64);
-            self.relaxations.fetch_add(1, Ordering::Relaxed);
-            self.g.try_for_each_neighbor(vertex, |t, _| {
-                if self.prune && v.ccid as u64 >= self.ccid.get(t) {
-                    return;
-                }
-                ctx.push(CcVisitor {
-                    ccid: v.ccid,
-                    vertex: t as u32,
-                });
-            })?;
-        }
-        Ok(())
+        cc_relax(self.g, self.ccid, self.relaxations, self.prune, v, |nv| {
+            ctx.push(nv)
+        })
     }
 
     fn prepare_batch(&self, batch: &[CcVisitor]) {
-        // Mirror of the SSSP batch hint: announce the adjacency lists this
-        // round will flood, skipping visitors whose candidate id no longer
-        // improves the label (their visit reads nothing). Stale label
-        // reads can only over-include — labels are monotone decreasing.
-        let targets: Vec<u64> = batch
-            .iter()
-            .filter(|v| (v.ccid as u64) < self.ccid.get(v.vertex as u64))
-            .map(|v| v.vertex as u64)
-            .collect();
-        if !targets.is_empty() {
-            self.g.prefetch_adjacency(&targets);
-        }
+        cc_prefetch(self.g, self.ccid, batch.iter());
     }
 }
 
@@ -293,10 +316,26 @@ mod tests {
     #[test]
     fn pruning_preserves_labels() {
         let g = RmatGenerator::new(RmatParams::RMAT_B, 10, 4, 9).undirected();
-        let base = connected_components(&g, &Config::with_threads(8));
-        let pruned = connected_components(&g, &Config::with_threads(8).with_pruning());
-        assert_eq!(base.ccid, pruned.ccid);
-        assert!(pruned.stats.visitors_pushed <= base.stats.visitors_pushed);
+        // Labels must be identical on every run — that is the correctness
+        // contract. The push-count comparison, however, pits two
+        // *nondeterministic* 8-thread schedules against each other: a
+        // single unlucky base schedule can do less redundant work than a
+        // single unlucky pruned schedule, so a pairwise comparison is a
+        // scheduling coin flip. Sum a few runs of each so the variance
+        // averages out and the assertion tests the pruning effect.
+        let mut base_total = 0u64;
+        let mut pruned_total = 0u64;
+        for _ in 0..3 {
+            let base = connected_components(&g, &Config::with_threads(8));
+            let pruned = connected_components(&g, &Config::with_threads(8).with_pruning());
+            assert_eq!(base.ccid, pruned.ccid);
+            base_total += base.stats.visitors_pushed;
+            pruned_total += pruned.stats.visitors_pushed;
+        }
+        assert!(
+            pruned_total <= base_total,
+            "pruning must not push more: pruned total {pruned_total} > base total {base_total}"
+        );
     }
 
     #[test]

@@ -1,0 +1,626 @@
+//! Persistent traversal engine: one worker pool serving a stream of
+//! concurrent BFS / SSSP / CC queries over a shared graph.
+//!
+//! The one-shot entry points ([`bfs`](fn@crate::bfs), [`sssp`](fn@crate::sssp),
+//! [`connected_components`](crate::connected_components)) spawn and join a
+//! worker pool per call — the right shape for a single big traversal, and
+//! pure overhead for a serving workload that answers many small queries
+//! over one graph. This module keeps the pool alive:
+//!
+//! * **Workers spawn once** per [`with_engine`] call and park on the
+//!   mailbox event-count protocol when idle.
+//! * **Queries multiplex**: visitors are tagged with a compact query id,
+//!   each query terminates on its own in-flight counter, and admission
+//!   control ([`EngineOpts::max_concurrent`]) bounds how many run at once.
+//! * **Label arrays are pooled**: each query leases its `dist`/`parent`/
+//!   `ccid` arrays from a [`StatePool`], so a
+//!   steady-state engine stops allocating per query.
+//! * **Failures are isolated**: a query whose semi-external read exhausts
+//!   its retry budget aborts alone — sibling queries and the worker pool
+//!   are untouched.
+//!
+//! ```
+//! use asyncgt::engine::{with_engine, EngineOpts};
+//! use asyncgt::graph::generators::grid_graph;
+//! use asyncgt::obs::NoopRecorder;
+//!
+//! let g = grid_graph(8, 8);
+//! let (sum, stats) = with_engine(&g, &EngineOpts::default(), &NoopRecorder, |eng| {
+//!     // Two concurrent BFS queries on one worker pool.
+//!     let a = eng.submit_bfs(&[0]).unwrap();
+//!     let b = eng.submit_bfs(&[63]).unwrap();
+//!     let a = a.wait().unwrap();
+//!     let b = b.wait().unwrap();
+//!     a.dist[63] + b.dist[0]
+//! });
+//! assert_eq!(sum, 28); // 14 grid hops each way
+//! assert_eq!(stats.queries, 2);
+//! ```
+
+use crate::cc::{cc_prefetch, cc_relax, CcOutput, CcVisitor};
+use crate::config::{lg2, Config};
+use crate::error::TraversalError;
+use crate::result::{TraversalOutput, TraversalStats};
+use crate::sssp::{sssp_prefetch, sssp_relax, SsspVisitor, NO_PARENT};
+use asyncgt_graph::{Graph, Vertex, INF_DIST, NO_VERTEX};
+use asyncgt_obs::Recorder;
+use asyncgt_vq::{
+    AbortReason, AbortedRun, DynHandler, EngineConfig, EngineStats, FallibleVisitHandler,
+    OwnedStateLease, PushCtx, QueryError, QueryStats, QueryTicket, RunStats, StatePool,
+    SubmitError, Visitor,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a persistent traversal engine.
+#[derive(Clone, Debug)]
+pub struct EngineOpts {
+    /// Traversal/runtime knobs shared with the one-shot API (threads,
+    /// pruning, batch drain, mailbox…). [`Config::priority_shift`]
+    /// overrides the engine-wide bucket class width; the default is the
+    /// CC-style coarse `lg(n) − 10`, which keeps every algorithm's
+    /// priority span inside the bucket ring for mixed workloads.
+    pub cfg: Config,
+    /// Queries allowed to execute concurrently; submits beyond this queue
+    /// up behind admission control.
+    pub max_concurrent: usize,
+    /// Bounded submit-queue depth behind the concurrency limit. `0` means
+    /// reject as soon as `max_concurrent` queries are active.
+    pub queue_depth: usize,
+    /// How long a submit blocks for admission before returning
+    /// [`SubmitError::Rejected`].
+    pub submit_timeout: Duration,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        let e = EngineConfig::default();
+        EngineOpts {
+            cfg: Config::default(),
+            max_concurrent: e.max_concurrent,
+            queue_depth: e.queue_depth,
+            submit_timeout: e.submit_timeout,
+        }
+    }
+}
+
+impl EngineOpts {
+    /// Engine with `num_threads` workers, defaults otherwise.
+    pub fn with_threads(num_threads: usize) -> Self {
+        EngineOpts {
+            cfg: Config::with_threads(num_threads),
+            ..Default::default()
+        }
+    }
+
+    /// Set the concurrent-query limit (see [`EngineOpts::max_concurrent`]).
+    pub fn with_max_concurrent(mut self, max_concurrent: usize) -> Self {
+        self.max_concurrent = max_concurrent.max(1);
+        self
+    }
+}
+
+/// A visitor of *some* algorithm multiplexed on one engine: path queries
+/// (BFS and weighted SSSP share [`SsspVisitor`]) or CC floods. The engine's
+/// queues are typed once per pool, so every algorithm's visitor must fit
+/// one type; the enum costs 8 bytes over the bare [`SsspVisitor`] and
+/// dispatches by variant at visit time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MultiVisitor {
+    /// BFS / SSSP candidate path.
+    Path(SsspVisitor),
+    /// CC candidate component id.
+    Cc(CcVisitor),
+}
+
+impl MultiVisitor {
+    /// Total-order key: (priority, vertex) first — preserving the paper's
+    /// semi-sort across algorithms — then variant, then the remaining
+    /// payload for a well-defined total order.
+    fn key(&self) -> (u64, u64, u8, u32) {
+        match self {
+            MultiVisitor::Path(v) => (v.dist, v.vertex as u64, 0, v.parent),
+            MultiVisitor::Cc(v) => (v.ccid as u64, v.vertex as u64, 1, 0),
+        }
+    }
+}
+
+impl Ord for MultiVisitor {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+impl PartialOrd for MultiVisitor {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Visitor for MultiVisitor {
+    fn target(&self) -> u64 {
+        match self {
+            MultiVisitor::Path(v) => v.target(),
+            MultiVisitor::Cc(v) => v.target(),
+        }
+    }
+    fn priority(&self) -> u64 {
+        match self {
+            MultiVisitor::Path(v) => v.priority(),
+            MultiVisitor::Cc(v) => v.priority(),
+        }
+    }
+}
+
+/// Per-query state of a BFS/SSSP query on the engine: the leased label
+/// arrays plus the algorithm knobs, driving the shared
+/// [`sssp_relax`] step.
+struct PathJob<'g, G> {
+    g: &'g G,
+    dist: OwnedStateLease,
+    parent: OwnedStateLease,
+    relaxations: AtomicU64,
+    prune: bool,
+    unit_weights: bool,
+}
+
+impl<'g, G: Graph> FallibleVisitHandler<MultiVisitor> for PathJob<'g, G> {
+    fn try_visit(
+        &self,
+        v: MultiVisitor,
+        ctx: &mut PushCtx<'_, MultiVisitor>,
+    ) -> Result<(), AbortReason> {
+        match v {
+            MultiVisitor::Path(v) => sssp_relax(
+                self.g,
+                &self.dist,
+                &self.parent,
+                &self.relaxations,
+                self.prune,
+                self.unit_weights,
+                v,
+                |nv| ctx.push(MultiVisitor::Path(nv)),
+            ),
+            // Queries never share visitors: a CC visitor carries a CC
+            // query's id and is dispatched to that query's handler.
+            MultiVisitor::Cc(_) => unreachable!("CC visitor routed to a path query"),
+        }
+    }
+
+    fn prepare_batch(&self, batch: &[MultiVisitor]) {
+        sssp_prefetch(
+            self.g,
+            &self.dist,
+            batch.iter().filter_map(|m| match m {
+                MultiVisitor::Path(v) => Some(v),
+                MultiVisitor::Cc(_) => None,
+            }),
+        );
+    }
+}
+
+/// Per-query state of a CC query on the engine, driving the shared
+/// [`cc_relax`] step.
+struct CcJob<'g, G> {
+    g: &'g G,
+    ccid: OwnedStateLease,
+    relaxations: AtomicU64,
+    prune: bool,
+}
+
+impl<'g, G: Graph> FallibleVisitHandler<MultiVisitor> for CcJob<'g, G> {
+    fn try_visit(
+        &self,
+        v: MultiVisitor,
+        ctx: &mut PushCtx<'_, MultiVisitor>,
+    ) -> Result<(), AbortReason> {
+        match v {
+            MultiVisitor::Cc(v) => {
+                cc_relax(self.g, &self.ccid, &self.relaxations, self.prune, v, |nv| {
+                    ctx.push(MultiVisitor::Cc(nv))
+                })
+            }
+            MultiVisitor::Path(_) => unreachable!("path visitor routed to a CC query"),
+        }
+    }
+
+    fn prepare_batch(&self, batch: &[MultiVisitor]) {
+        cc_prefetch(
+            self.g,
+            &self.ccid,
+            batch.iter().filter_map(|m| match m {
+                MultiVisitor::Cc(v) => Some(v),
+                MultiVisitor::Path(_) => None,
+            }),
+        );
+    }
+}
+
+/// Map one query's engine stats onto the one-shot [`TraversalStats`]
+/// shape. `parks` and `inbox_batches` are engine-wide quantities with no
+/// per-query attribution, so they read 0 here; the engine-lifetime totals
+/// are in the [`EngineStats`] returned by [`with_engine`].
+fn stats_of(q: &QueryStats, relaxations: u64, num_threads: usize) -> TraversalStats {
+    TraversalStats {
+        visitors_executed: q.visitors_executed,
+        visitors_pushed: q.visitors_pushed,
+        local_pushes: q.local_pushes,
+        parks: 0,
+        inbox_batches: 0,
+        relaxations,
+        elapsed: q.elapsed,
+        num_threads,
+    }
+}
+
+/// Convert a per-query abort into the one-shot API's [`TraversalError`],
+/// classifying storage failures by downcast exactly like the one-shot path.
+fn error_of(
+    reason: AbortReason,
+    q: &QueryStats,
+    relaxations: u64,
+    num_threads: usize,
+) -> TraversalError {
+    let stats = stats_of(q, relaxations, num_threads);
+    let aborted = AbortedRun {
+        reason,
+        stats: RunStats {
+            visitors_executed: q.visitors_executed,
+            visitors_pushed: q.visitors_pushed,
+            local_pushes: q.local_pushes,
+            parks: 0,
+            inbox_batches: 0,
+            elapsed: q.elapsed,
+            num_threads,
+        },
+    };
+    TraversalError::from_abort(aborted, stats)
+}
+
+/// Pending result of a BFS/SSSP query submitted to a [`TraversalEngine`].
+pub struct PathTicket<'env, G: Graph> {
+    job: Arc<PathJob<'env, G>>,
+    ticket: QueryTicket<'env, MultiVisitor>,
+    num_threads: usize,
+}
+
+impl<'env, G: Graph> PathTicket<'env, G> {
+    /// Block until the query finalizes, extracting its `dist`/`parent`
+    /// labels. An aborted query returns the same classified
+    /// [`TraversalError`] the one-shot `try_*` API produces.
+    ///
+    /// # Panics
+    /// If a worker panicked (engine poisoned); [`with_engine`] re-raises
+    /// the original panic when it unwinds.
+    pub fn wait(self) -> Result<TraversalOutput, TraversalError> {
+        let res = self.ticket.wait();
+        let relaxed = self.job.relaxations.load(Ordering::Relaxed);
+        match res {
+            Ok(q) => Ok(TraversalOutput {
+                dist: self.job.dist.to_vec(),
+                parent: self.job.parent.to_vec(),
+                stats: stats_of(&q, relaxed, self.num_threads),
+            }),
+            Err(QueryError::Aborted { reason, stats }) => {
+                Err(error_of(reason, &stats, relaxed, self.num_threads))
+            }
+            Err(QueryError::EnginePoisoned) => {
+                panic!("traversal engine poisoned by a worker panic")
+            }
+        }
+    }
+
+    /// Whether the query has already finalized (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.ticket.is_done()
+    }
+}
+
+/// Pending result of a connected-components query submitted to a
+/// [`TraversalEngine`].
+pub struct CcTicket<'env, G: Graph> {
+    job: Arc<CcJob<'env, G>>,
+    ticket: QueryTicket<'env, MultiVisitor>,
+    num_threads: usize,
+}
+
+impl<'env, G: Graph> CcTicket<'env, G> {
+    /// Block until the query finalizes, extracting its component labels.
+    ///
+    /// # Panics
+    /// If a worker panicked (engine poisoned); [`with_engine`] re-raises
+    /// the original panic when it unwinds.
+    pub fn wait(self) -> Result<CcOutput, TraversalError> {
+        let res = self.ticket.wait();
+        let relaxed = self.job.relaxations.load(Ordering::Relaxed);
+        match res {
+            Ok(q) => Ok(CcOutput {
+                ccid: self.job.ccid.to_vec(),
+                stats: stats_of(&q, relaxed, self.num_threads),
+            }),
+            Err(QueryError::Aborted { reason, stats }) => {
+                Err(error_of(reason, &stats, relaxed, self.num_threads))
+            }
+            Err(QueryError::EnginePoisoned) => {
+                panic!("traversal engine poisoned by a worker panic")
+            }
+        }
+    }
+
+    /// Whether the query has already finalized (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.ticket.is_done()
+    }
+}
+
+/// Handle to a live traversal engine inside a [`with_engine`] call.
+///
+/// Submit queries from the closure (or from threads it spawns — the handle
+/// is `Sync`); every accepted query runs to completion before
+/// [`with_engine`] returns.
+pub struct TraversalEngine<'s, 'env, G: Graph, R: Recorder> {
+    eng: &'s asyncgt_vq::Engine<'s, 'env, MultiVisitor, R>,
+    g: &'env G,
+    pool: Arc<StatePool>,
+    prune: bool,
+}
+
+impl<'s, 'env, G: Graph, R: Recorder> TraversalEngine<'s, 'env, G, R> {
+    /// Number of worker threads serving queries.
+    pub fn num_workers(&self) -> usize {
+        self.eng.num_workers()
+    }
+
+    /// Queries currently executing (an instantaneous snapshot).
+    pub fn active_queries(&self) -> u64 {
+        self.eng.active_queries()
+    }
+
+    /// Label arrays allocated so far — stays at the concurrency high-water
+    /// mark (×2 for path queries) thanks to pooling.
+    pub fn state_arrays_allocated(&self) -> usize {
+        self.pool.allocated()
+    }
+
+    fn check_sources(&self, sources: &[Vertex]) {
+        let n = self.g.num_vertices();
+        assert!(!sources.is_empty(), "at least one source vertex required");
+        for &source in sources {
+            assert!(
+                source < n,
+                "source vertex {source} out of range ({n} vertices)"
+            );
+        }
+    }
+
+    fn submit_path(
+        &self,
+        sources: &[Vertex],
+        unit_weights: bool,
+    ) -> Result<PathTicket<'env, G>, SubmitError> {
+        self.check_sources(sources);
+        let job = Arc::new(PathJob {
+            g: self.g,
+            dist: self.pool.lease_arc(INF_DIST),
+            parent: self.pool.lease_arc(NO_VERTEX),
+            relaxations: AtomicU64::new(0),
+            prune: self.prune,
+            unit_weights,
+        });
+        let seeds = sources.iter().map(|&s| {
+            MultiVisitor::Path(SsspVisitor {
+                dist: 0,
+                vertex: s as u32,
+                parent: NO_PARENT,
+            })
+        });
+        let handler: Arc<DynHandler<'env, MultiVisitor>> = job.clone();
+        let ticket = self.eng.submit(handler, seeds)?;
+        Ok(PathTicket {
+            job,
+            ticket,
+            num_threads: self.num_workers(),
+        })
+    }
+
+    /// Submit a multi-source BFS (unit edge weights); `dist` labels are
+    /// hop counts to the nearest source.
+    pub fn submit_bfs(&self, sources: &[Vertex]) -> Result<PathTicket<'env, G>, SubmitError> {
+        self.submit_path(sources, true)
+    }
+
+    /// Submit a multi-source weighted SSSP.
+    pub fn submit_sssp(&self, sources: &[Vertex]) -> Result<PathTicket<'env, G>, SubmitError> {
+        self.submit_path(sources, false)
+    }
+
+    /// Submit a connected-components query (every vertex seeds its own id,
+    /// exactly like the one-shot
+    /// [`connected_components`](crate::connected_components)).
+    pub fn submit_cc(&self) -> Result<CcTicket<'env, G>, SubmitError> {
+        let job = Arc::new(CcJob {
+            g: self.g,
+            ccid: self.pool.lease_arc(INF_DIST),
+            relaxations: AtomicU64::new(0),
+            prune: self.prune,
+        });
+        let n = self.g.num_vertices() as u32;
+        let seeds = (0..n).map(|v| MultiVisitor::Cc(CcVisitor { ccid: v, vertex: v }));
+        let handler: Arc<DynHandler<'env, MultiVisitor>> = job.clone();
+        let ticket = self.eng.submit(handler, seeds)?;
+        Ok(CcTicket {
+            job,
+            ticket,
+            num_threads: self.num_workers(),
+        })
+    }
+}
+
+/// Run a persistent traversal engine over `g` for the duration of `f`.
+///
+/// Workers are spawned exactly once; `f` submits queries through the
+/// [`TraversalEngine`] handle and waits on the returned tickets. When `f`
+/// returns, the engine drains every accepted query, parks nothing, joins
+/// its workers, and reports lifetime [`EngineStats`].
+///
+/// # Panics
+/// Re-raises any worker (handler) panic after teardown, like the one-shot
+/// API.
+pub fn with_engine<'env, G, R, T>(
+    g: &'env G,
+    opts: &EngineOpts,
+    recorder: &R,
+    f: impl FnOnce(&TraversalEngine<'_, 'env, G, R>) -> T,
+) -> (T, EngineStats)
+where
+    G: Graph,
+    R: Recorder,
+{
+    let n = g.num_vertices();
+    assert!(
+        n < u32::MAX as u64,
+        "async traversal stores vertex ids as u32 (paper max scale is 2^30); \
+         got {n} vertices"
+    );
+    // One engine-wide bucket class width must serve every algorithm: the
+    // CC-style coarse shift keeps the full vertex-id priority span (CC's
+    // worst case) inside the bucket ring, and merely coarsens — never
+    // breaks — BFS/SSSP prioritization.
+    let ecfg = EngineConfig {
+        vq: opts.cfg.vq(lg2(n).saturating_sub(10)),
+        max_concurrent: opts.max_concurrent.max(1),
+        queue_depth: opts.queue_depth,
+        submit_timeout: opts.submit_timeout,
+        ..EngineConfig::default()
+    };
+    let pool = Arc::new(StatePool::new(n as usize));
+    let prune = opts.cfg.prune_pushes;
+    asyncgt_vq::engine::scoped(&ecfg, recorder, |eng| {
+        let engine = TraversalEngine {
+            eng,
+            g,
+            pool: Arc::clone(&pool),
+            prune,
+        };
+        f(&engine)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs, connected_components, sssp};
+    use asyncgt_baselines::serial;
+    use asyncgt_graph::generators::{path_graph, RmatGenerator, RmatParams};
+    use asyncgt_graph::weights::{weighted_copy, WeightKind};
+    use asyncgt_obs::NoopRecorder;
+
+    fn test_graph() -> impl Graph {
+        weighted_copy(
+            &RmatGenerator::new(RmatParams::RMAT_A, 9, 8, 21).undirected(),
+            WeightKind::Uniform,
+            5,
+        )
+    }
+
+    #[test]
+    fn mixed_concurrent_queries_match_one_shot_results() {
+        let g = test_graph();
+        let cfg = Config::with_threads(4);
+        let bfs_expect = bfs(&g, 0, &cfg);
+        let sssp_expect = sssp(&g, 7, &cfg);
+        let cc_expect = connected_components(&g, &cfg);
+
+        let opts = EngineOpts {
+            cfg: cfg.clone(),
+            max_concurrent: 8,
+            ..Default::default()
+        };
+        let ((b, s, c), stats) = with_engine(&g, &opts, &NoopRecorder, |eng| {
+            let b = eng.submit_bfs(&[0]).unwrap();
+            let s = eng.submit_sssp(&[7]).unwrap();
+            let c = eng.submit_cc().unwrap();
+            (b.wait().unwrap(), s.wait().unwrap(), c.wait().unwrap())
+        });
+        assert_eq!(b.dist, bfs_expect.dist);
+        assert_eq!(s.dist, sssp_expect.dist);
+        assert_eq!(c.ccid, cc_expect.ccid);
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.num_threads, 4);
+    }
+
+    #[test]
+    fn many_concurrent_path_queries_are_exact() {
+        let g = test_graph();
+        let sources: Vec<Vertex> = (0..16u64).map(|i| i * 3).collect();
+        let expected: Vec<Vec<u64>> = sources.iter().map(|&s| serial::bfs(&g, s).dist).collect();
+        let opts = EngineOpts {
+            cfg: Config::with_threads(4),
+            max_concurrent: 16,
+            ..Default::default()
+        };
+        let (outs, stats) = with_engine(&g, &opts, &NoopRecorder, |eng| {
+            let tickets: Vec<_> = sources
+                .iter()
+                .map(|&s| eng.submit_bfs(&[s]).unwrap())
+                .collect();
+            tickets
+                .into_iter()
+                .map(|t| t.wait().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for (out, expect) in outs.iter().zip(&expected) {
+            assert_eq!(&out.dist, expect);
+        }
+        assert_eq!(stats.queries, 16);
+    }
+
+    #[test]
+    fn state_pool_amortizes_label_arrays_across_sequential_queries() {
+        let g = path_graph(64);
+        let opts = EngineOpts {
+            cfg: Config::with_threads(2),
+            max_concurrent: 2,
+            ..Default::default()
+        };
+        let (allocated, _) = with_engine(&g, &opts, &NoopRecorder, |eng| {
+            for round in 0..10 {
+                let t = eng.submit_bfs(&[0]).unwrap();
+                let out = t.wait().unwrap();
+                assert_eq!(out.dist[63], 63, "round {round}");
+            }
+            eng.state_arrays_allocated()
+        });
+        // Ten sequential path queries would need 20 arrays without
+        // pooling. With pooling the steady state is 2, but a worker may
+        // still hold the previous query's handler (and its leases) in its
+        // one-entry cache when the next submit leases — it only lets go on
+        // its next idle pass — so allow a small transient excess.
+        assert!(
+            allocated <= 6,
+            "pool failed to amortize: {allocated} arrays"
+        );
+    }
+
+    #[test]
+    fn engine_sssp_matches_dijkstra() {
+        let g = test_graph();
+        let expect = serial::dijkstra(&g, 3);
+        let opts = EngineOpts::with_threads(8);
+        let (out, _) = with_engine(&g, &opts, &NoopRecorder, |eng| {
+            eng.submit_sssp(&[3]).unwrap().wait().unwrap()
+        });
+        assert_eq!(out.dist, expect.dist);
+        assert!(out.stats.relaxations >= out.reached_count());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_source_panics() {
+        let g = path_graph(4);
+        let _ = with_engine(&g, &EngineOpts::default(), &NoopRecorder, |eng| {
+            let _ = eng.submit_bfs(&[99]);
+        });
+    }
+}

@@ -49,6 +49,7 @@ pub mod bfs;
 pub mod cc;
 pub mod config;
 pub mod diameter;
+pub mod engine;
 pub mod error;
 pub mod khop;
 pub mod pagerank;
@@ -63,6 +64,7 @@ pub use cc::{
 };
 pub use config::Config;
 pub use diameter::{double_sweep, eccentricity, DiameterEstimate};
+pub use engine::{with_engine, CcTicket, EngineOpts, PathTicket, TraversalEngine};
 pub use error::TraversalError;
 pub use khop::{bfs_bounded, khop_ball};
 pub use pagerank::{pagerank, PageRankOutput, PageRankParams};

@@ -32,7 +32,7 @@ pub(crate) struct SsspVisitor {
 }
 
 /// In-visitor encoding of [`NO_VERTEX`].
-const NO_PARENT: u32 = u32::MAX;
+pub(crate) const NO_PARENT: u32 = u32::MAX;
 
 impl Ord for SsspVisitor {
     /// Primary key: path length ("prioritized based on the visitors' path
@@ -73,67 +73,102 @@ pub(crate) struct SsspHandler<'a, G> {
     pub unit_weights: bool,
 }
 
+/// The SSSP relax step (paper Algorithm 2 lines 8-10), shared by the
+/// one-shot [`SsspHandler`] and the persistent engine's path jobs
+/// ([`crate::engine`]): relax `v.vertex`'s labels if the candidate
+/// improves them, then emit a visitor per out-edge through `push`.
+///
+/// Exclusive access to `v.vertex`'s labels is guaranteed by hash routing,
+/// so the check-then-store needs no atomicity beyond the relaxed cells
+/// themselves.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn sssp_relax<G: Graph>(
+    g: &G,
+    dist: &AtomicStateArray,
+    parent: &AtomicStateArray,
+    relaxations: &AtomicU64,
+    prune: bool,
+    unit_weights: bool,
+    v: SsspVisitor,
+    mut push: impl FnMut(SsspVisitor),
+) -> Result<(), AbortReason> {
+    let vertex = v.vertex as u64;
+    if v.dist < dist.get(vertex) {
+        dist.set(vertex, v.dist);
+        parent.set(
+            vertex,
+            if v.parent == NO_PARENT {
+                NO_VERTEX
+            } else {
+                v.parent as u64
+            },
+        );
+        relaxations.fetch_add(1, Ordering::Relaxed);
+        // Fallible adjacency iteration: a storage error (retry budget
+        // exhausted, corruption) aborts the whole run cleanly instead
+        // of unwinding a panic through the worker pool. Note the label
+        // was already relaxed; label-correcting algorithms tolerate
+        // that — a retried/restarted run re-relaxes from scratch.
+        g.try_for_each_neighbor(vertex, |t, w| {
+            let nd = v.dist + if unit_weights { 1 } else { w as u64 };
+            // Pruning reads the target's label from a non-owning
+            // thread. Labels only decrease, so a stale value can only
+            // make us push a visitor that will fail its visit-time
+            // check — never skip a necessary one.
+            if prune && nd >= dist.get(t) {
+                return;
+            }
+            push(SsspVisitor {
+                dist: nd,
+                vertex: t as u32,
+                parent: v.vertex,
+            });
+        })?;
+    }
+    Ok(())
+}
+
+/// The SSSP half of the batch I/O hint: announce the adjacency lists this
+/// service round will read so a semi-external backend can coalesce them
+/// into fewer device requests. Visitors whose candidate no longer improves
+/// the label are filtered: their visit relaxes nothing and reads no
+/// adjacency. The label check uses the same stale-tolerant read as
+/// pruning — labels only decrease, so a stale value can only keep a
+/// vertex in the hint, never drop a needed one.
+pub(crate) fn sssp_prefetch<'v, G: Graph>(
+    g: &G,
+    dist: &AtomicStateArray,
+    batch: impl Iterator<Item = &'v SsspVisitor>,
+) {
+    let targets: Vec<u64> = batch
+        .filter(|v| v.dist < dist.get(v.vertex as u64))
+        .map(|v| v.vertex as u64)
+        .collect();
+    if !targets.is_empty() {
+        g.prefetch_adjacency(&targets);
+    }
+}
+
 impl<'a, G: Graph> FallibleVisitHandler<SsspVisitor> for SsspHandler<'a, G> {
     fn try_visit(
         &self,
         v: SsspVisitor,
         ctx: &mut PushCtx<'_, SsspVisitor>,
     ) -> Result<(), AbortReason> {
-        // Exclusive access to `v.vertex`'s labels is guaranteed by hash
-        // routing, so this check-then-store needs no atomicity beyond the
-        // relaxed cells themselves (Algorithm 2 lines 8-10).
-        let vertex = v.vertex as u64;
-        if v.dist < self.dist.get(vertex) {
-            self.dist.set(vertex, v.dist);
-            self.parent.set(
-                vertex,
-                if v.parent == NO_PARENT {
-                    NO_VERTEX
-                } else {
-                    v.parent as u64
-                },
-            );
-            self.relaxations.fetch_add(1, Ordering::Relaxed);
-            // Fallible adjacency iteration: a storage error (retry budget
-            // exhausted, corruption) aborts the whole run cleanly instead
-            // of unwinding a panic through the worker pool. Note the label
-            // was already relaxed; label-correcting algorithms tolerate
-            // that — a retried/restarted run re-relaxes from scratch.
-            self.g.try_for_each_neighbor(vertex, |t, w| {
-                let nd = v.dist + if self.unit_weights { 1 } else { w as u64 };
-                // Pruning reads the target's label from a non-owning
-                // thread. Labels only decrease, so a stale value can only
-                // make us push a visitor that will fail its visit-time
-                // check — never skip a necessary one.
-                if self.prune && nd >= self.dist.get(t) {
-                    return;
-                }
-                ctx.push(SsspVisitor {
-                    dist: nd,
-                    vertex: t as u32,
-                    parent: v.vertex,
-                });
-            })?;
-        }
-        Ok(())
+        sssp_relax(
+            self.g,
+            self.dist,
+            self.parent,
+            self.relaxations,
+            self.prune,
+            self.unit_weights,
+            v,
+            |nv| ctx.push(nv),
+        )
     }
 
     fn prepare_batch(&self, batch: &[SsspVisitor]) {
-        // Announce the adjacency lists this service round will read so a
-        // semi-external backend can coalesce them into fewer device
-        // requests. Visitors whose candidate no longer improves the label
-        // are filtered: their visit relaxes nothing and reads no
-        // adjacency. The label check uses the same stale-tolerant read as
-        // pruning — labels only decrease, so a stale value can only keep
-        // a vertex in the hint, never drop a needed one.
-        let targets: Vec<u64> = batch
-            .iter()
-            .filter(|v| v.dist < self.dist.get(v.vertex as u64))
-            .map(|v| v.vertex as u64)
-            .collect();
-        if !targets.is_empty() {
-            self.g.prefetch_adjacency(&targets);
-        }
+        sssp_prefetch(self.g, self.dist, batch.iter());
     }
 }
 

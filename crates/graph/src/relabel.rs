@@ -12,7 +12,7 @@
 //!   bandwidth-reduction permutation.
 //!
 //! Both return the relabeled graph plus the permutation (so algorithm
-//! outputs can be mapped back with [`apply_inverse`]). The SEM ablation
+//! outputs can be mapped back with [`Permutation::apply_inverse`]). The SEM ablation
 //! (`ablation -- relabel`) measures their effect on block-cache hit rate.
 
 use crate::csr::CsrGraph;

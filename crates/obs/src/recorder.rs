@@ -83,10 +83,19 @@ pub enum Counter {
     /// empty→non-empty edge (lock-free path only; the mutex path counts
     /// condvar wakes under `wakes`).
     MailboxNotifies,
+    /// Queries accepted by `Engine::submit` (admitted or queued).
+    QueriesSubmitted,
+    /// Queries that ran to completion (termination detected).
+    QueriesCompleted,
+    /// Queries cancelled through the per-query abort path.
+    QueriesAborted,
+    /// Submissions rejected by admission control (queue full + timeout,
+    /// or the engine was draining/poisoned).
+    SubmitRejections,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 27] = [
         Counter::VisitorsPushed,
         Counter::VisitorsExecuted,
         Counter::LocalPushes,
@@ -110,6 +119,10 @@ impl Counter {
         Counter::MailboxCasRetries,
         Counter::MailboxSegments,
         Counter::MailboxNotifies,
+        Counter::QueriesSubmitted,
+        Counter::QueriesCompleted,
+        Counter::QueriesAborted,
+        Counter::SubmitRejections,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -138,6 +151,10 @@ impl Counter {
             Counter::MailboxCasRetries => "mailbox_cas_retries",
             Counter::MailboxSegments => "mailbox_segments",
             Counter::MailboxNotifies => "mailbox_notifies",
+            Counter::QueriesSubmitted => "queries_submitted",
+            Counter::QueriesCompleted => "queries_completed",
+            Counter::QueriesAborted => "queries_aborted",
+            Counter::SubmitRejections => "submit_rejections",
         }
     }
 }
@@ -168,10 +185,13 @@ pub enum HistKind {
     /// Nanoseconds from a mailbox segment's publish to its drain by the
     /// owning worker (remote delivery latency, lock-free path).
     MailboxDeliveryNs,
+    /// Nanoseconds from `Engine::submit` accepting a query to its
+    /// termination (queueing delay under admission control included).
+    QueryLatencyNs,
 }
 
 impl HistKind {
-    pub const ALL: [HistKind; 9] = [
+    pub const ALL: [HistKind; 10] = [
         HistKind::ServiceTimeNs,
         HistKind::InboxBatchSize,
         HistKind::QueueDepth,
@@ -181,6 +201,7 @@ impl HistKind {
         HistKind::InflightDepth,
         HistKind::BatchDrainSize,
         HistKind::MailboxDeliveryNs,
+        HistKind::QueryLatencyNs,
     ];
 
     /// Stable snake_case name used in the JSON schema.
@@ -195,6 +216,7 @@ impl HistKind {
             HistKind::InflightDepth => "inflight_depth",
             HistKind::BatchDrainSize => "batch_drain_size",
             HistKind::MailboxDeliveryNs => "mailbox_delivery_ns",
+            HistKind::QueryLatencyNs => "query_latency_ns",
         }
     }
 }
@@ -207,15 +229,18 @@ const NUM_HISTS: usize = HistKind::ALL.len();
 pub enum Gauge {
     /// Deepest local queue observed by the worker.
     QueueDepthHwm = 0,
+    /// Most queries simultaneously active inside the engine.
+    ActiveQueriesHwm,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 1] = [Gauge::QueueDepthHwm];
+    pub const ALL: [Gauge; 2] = [Gauge::QueueDepthHwm, Gauge::ActiveQueriesHwm];
 
     /// Stable snake_case name used in the JSON schema.
     pub fn name(self) -> &'static str {
         match self {
             Gauge::QueueDepthHwm => "queue_depth_hwm",
+            Gauge::ActiveQueriesHwm => "active_queries_hwm",
         }
     }
 }
@@ -400,15 +425,36 @@ impl ShardedRecorder {
     }
 
     /// Aggregate all shards into an immutable snapshot.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use asyncgt_obs::{Counter, MetricsSnapshot, Recorder, ShardedRecorder};
+    ///
+    /// let rec = ShardedRecorder::new(4);
+    /// rec.counter(Counter::VisitorsExecuted, 128);
+    /// rec.counter(Counter::QueriesCompleted, 2);
+    ///
+    /// let snap = rec.snapshot();
+    /// assert_eq!(snap.counter("visitors_executed"), 128);
+    ///
+    /// // The snapshot round-trips through its versioned JSON schema.
+    /// let back = MetricsSnapshot::from_json_str(&snap.to_json_string()).unwrap();
+    /// assert_eq!(back.counter("queries_completed"), 2);
+    /// ```
     pub fn snapshot(&self) -> MetricsSnapshot {
         let elapsed_secs = self.start.elapsed().as_secs_f64();
 
         let mut totals = [0u64; NUM_COUNTERS];
+        let mut gauge_maxes = [0u64; NUM_GAUGES];
         let mut per_worker = Vec::with_capacity(self.num_workers);
         for (w, shard) in self.shards.iter().enumerate() {
             let counters: Vec<u64> = shard.counters.iter().map(|c| c.load(Relaxed)).collect();
             for (t, &v) in totals.iter_mut().zip(&counters) {
                 *t += v;
+            }
+            for (m, g) in gauge_maxes.iter_mut().zip(&shard.gauges) {
+                *m = (*m).max(g.load(Relaxed));
             }
             if w < self.num_workers {
                 per_worker.push(WorkerCounters {
@@ -449,6 +495,10 @@ impl ShardedRecorder {
             counters: Counter::ALL
                 .iter()
                 .map(|&c| (c.name().to_string(), totals[c as usize]))
+                .collect(),
+            gauges: Gauge::ALL
+                .iter()
+                .map(|&g| (g.name().to_string(), gauge_maxes[g as usize]))
                 .collect(),
             per_worker,
             histograms,

@@ -14,6 +14,7 @@
 //!   "num_workers": 4,
 //!   "elapsed_secs": 0.123,
 //!   "counters": { "visitors_pushed": 100, ... },
+//!   "gauges": { "queue_depth_hwm": 17, "active_queries_hwm": 3 },
 //!   "per_worker": [
 //!     { "worker": 0, "queue_depth_hwm": 17, "counters": { ... } }
 //!   ],
@@ -141,6 +142,9 @@ pub struct MetricsSnapshot {
     pub elapsed_secs: f64,
     /// Totals across all shards, keyed by stable counter name.
     pub counters: Vec<(String, u64)>,
+    /// High-water marks, maxed across all shards, keyed by stable gauge
+    /// name. Additive field: absent in older snapshots (reads as zeros).
+    pub gauges: Vec<(String, u64)>,
     pub per_worker: Vec<WorkerCounters>,
     pub histograms: HistogramsSnapshot,
     pub phases: Vec<PhaseSpan>,
@@ -159,9 +163,25 @@ impl MetricsSnapshot {
             .unwrap_or(0)
     }
 
+    /// High-water mark for a gauge by schema name; 0 if absent.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    }
+
     pub fn to_json(&self) -> Value {
         let counters = Value::Obj(
             self.counters
+                .iter()
+                .map(|(k, v)| (k.clone(), Value::Int(*v)))
+                .collect(),
+        );
+
+        let gauges = Value::Obj(
+            self.gauges
                 .iter()
                 .map(|(k, v)| (k.clone(), Value::Int(*v)))
                 .collect(),
@@ -254,6 +274,7 @@ impl MetricsSnapshot {
             ("num_workers".into(), Value::Int(self.num_workers as u64)),
             ("elapsed_secs".into(), Value::Float(self.elapsed_secs)),
             ("counters".into(), counters),
+            ("gauges".into(), gauges),
             ("per_worker".into(), per_worker),
             ("histograms".into(), histograms),
             ("phases".into(), phases),
@@ -318,6 +339,22 @@ impl MetricsSnapshot {
                     .ok_or_else(|| format!("counter {k:?} not an integer"))
             })
             .collect::<Result<Vec<_>, _>>()?;
+
+        // Additive field: older snapshots predate gauges; read as zeros so
+        // round-tripping current files stays exact and old files parse.
+        let gauges = match v.get("gauges") {
+            Some(g) => crate::recorder::Gauge::ALL
+                .iter()
+                .map(|gauge| {
+                    let val = g.get(gauge.name()).and_then(Value::as_u64).unwrap_or(0);
+                    (gauge.name().to_string(), val)
+                })
+                .collect(),
+            None => crate::recorder::Gauge::ALL
+                .iter()
+                .map(|gauge| (gauge.name().to_string(), 0))
+                .collect(),
+        };
 
         let per_worker = field("per_worker")?
             .as_arr()
@@ -478,6 +515,7 @@ impl MetricsSnapshot {
             num_workers,
             elapsed_secs,
             counters,
+            gauges,
             per_worker,
             histograms,
             phases,

@@ -53,6 +53,7 @@ pub struct ChunkSummer {
 }
 
 impl ChunkSummer {
+    /// Summer with the given chunk size in bytes.
     pub fn new(chunk: usize) -> Self {
         assert!(chunk > 0, "checksum chunk size must be positive");
         ChunkSummer {
@@ -62,6 +63,7 @@ impl ChunkSummer {
         }
     }
 
+    /// Feed bytes; every completed chunk is summed as it fills.
     pub fn update(&mut self, mut bytes: &[u8]) {
         while !bytes.is_empty() {
             let take = (self.chunk - self.buf.len()).min(bytes.len());
@@ -74,6 +76,7 @@ impl ChunkSummer {
         }
     }
 
+    /// Sum the final (possibly short) chunk and return all chunk sums.
     pub fn finish(mut self) -> Vec<u64> {
         if !self.buf.is_empty() {
             self.sums.push(chunk_sum(&self.buf));

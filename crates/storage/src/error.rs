@@ -21,17 +21,28 @@ use std::io;
 pub enum StorageError {
     /// A retryable I/O failure. `attempts` is the number of attempts made
     /// before giving up (0 while still inside the retry loop).
-    Transient { detail: String, attempts: u32 },
+    Transient {
+        /// Human-readable failure description.
+        detail: String,
+        /// Attempts made before giving up (0 while inside the retry loop).
+        attempts: u32,
+    },
     /// Data that fails checksum or structural validation. `offset` is the
     /// absolute file position of the bad region; `vertex` is filled in
     /// when the failure is attributable to one adjacency list.
     Corrupt {
+        /// Vertex whose adjacency list failed validation, when attributable.
         vertex: Option<u64>,
+        /// Absolute file position of the bad region.
         offset: u64,
+        /// Human-readable failure description.
         detail: String,
     },
     /// A failure that no amount of retrying will fix.
-    Permanent { detail: String },
+    Permanent {
+        /// Human-readable failure description.
+        detail: String,
+    },
 }
 
 impl StorageError {

@@ -104,6 +104,7 @@ pub struct FaultyDevice {
 }
 
 impl FaultyDevice {
+    /// Injector executing the given schedule.
     pub fn new(plan: FaultPlan) -> Self {
         FaultyDevice {
             plan,
@@ -111,6 +112,7 @@ impl FaultyDevice {
         }
     }
 
+    /// The schedule this injector executes.
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }

@@ -7,7 +7,7 @@
 //! of visitors is translated into block requests, deduplicated, merged
 //! into runs of consecutive blocks ([`plan_runs`]), optionally extended by
 //! sequential readahead, and issued concurrently through a small
-//! [`PrefetchPool`] — the paper's Fig.-1 observation that flash only
+//! `PrefetchPool` — the paper's Fig.-1 observation that flash only
 //! reaches peak IOPS with many requests in flight, applied to the
 //! traversal's own read stream.
 //!

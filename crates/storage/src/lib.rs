@@ -6,7 +6,7 @@
 //! visitor queues and the output of the algorithm are stored in main
 //! memory." This crate provides:
 //!
-//! * [`format`] / [`writer`] — an on-disk CSR file format ("custom
+//! * [`format`](mod@format) / [`writer`] — an on-disk CSR file format ("custom
 //!   file-based storage implementing a compressed sparse row") and a writer
 //!   that serializes any in-memory [`CsrGraph`](asyncgt_graph::CsrGraph).
 //! * [`SemGraph`] — the reader: the vertex index (offsets) lives in RAM,
@@ -30,6 +30,8 @@
 //!   optional sequential readahead, and issued concurrently through a
 //!   small prefetch pool, turning the visitor queues' semi-sorted access
 //!   order into fewer, larger device reads.
+
+#![warn(missing_docs)]
 
 pub mod checksum;
 pub mod device;

@@ -283,6 +283,32 @@ impl SemGraph {
     /// offsets array (monotonicity + checksum), and loads the edge-region
     /// checksum table — truncated or corrupt files are rejected here with
     /// a typed [`StorageError`] rather than failing mid-traversal.
+    ///
+    /// # Example: opening under fault injection
+    ///
+    /// Transient device faults are absorbed by the retry loop; the
+    /// traversal sees clean adjacency data and the absorbed faults show
+    /// up only in [`SemGraph::io_stats`].
+    ///
+    /// ```
+    /// use asyncgt_graph::GraphBuilder;
+    /// use asyncgt_storage::reader::SemConfig;
+    /// use asyncgt_storage::{write_sem_graph, FaultPlan, FaultyDevice, SemGraph};
+    /// use std::sync::Arc;
+    ///
+    /// let g = GraphBuilder::from_edges(3, vec![(0, 1, 1), (1, 2, 1)], true).build::<u32>();
+    /// let path = std::env::temp_dir().join("asyncgt_doc_faulty.agt");
+    /// write_sem_graph(&path, &g).unwrap();
+    ///
+    /// let cfg = SemConfig {
+    ///     faults: Some(Arc::new(FaultyDevice::new(FaultPlan::transient(7, 0.5)))),
+    ///     ..SemConfig::default()
+    /// };
+    /// let sem = SemGraph::open_with(&path, cfg).unwrap();
+    /// let mut neighbors = Vec::new();
+    /// sem.try_for_each_neighbor(1, |t, _w| neighbors.push(t)).unwrap();
+    /// assert_eq!(neighbors, [2]);
+    /// ```
     pub fn open_with<P: AsRef<Path>>(path: P, config: SemConfig) -> Result<Self, StorageError> {
         assert!(config.block_size > 0, "block_size must be positive");
         let mut file = File::open(path)?;

@@ -82,10 +82,23 @@ impl<V: Visitor> BucketQueue<V> {
     /// Insert a visitor.
     #[inline]
     pub fn push(&mut self, v: V) {
-        // A class below `base` means a stale-but-better visitor arrived
-        // after the ring advanced; it joins the current class (it would be
-        // the next thing popped anyway — ordering within a class is free).
-        let class = self.class_of(&v).max(self.base);
+        let class = self.class_of(&v);
+        // An empty queue has no ordering to preserve: rebase the ring to
+        // the incoming class instead of clamping it to wherever the last
+        // drain left `base`. This matters for a persistent engine worker,
+        // whose queue repeatedly empties between queries — without the
+        // rebase, a new query's visitors (whose priorities restart near 0)
+        // would all clamp into one bucket at the stale base and lose
+        // prioritization entirely.
+        if self.is_empty() && class < self.base {
+            self.base = class;
+            self.head = 0;
+        }
+        // A class below `base` in a non-empty queue means a stale-but-better
+        // visitor arrived after the ring advanced; it joins the current
+        // class (it would be the next thing popped anyway — ordering within
+        // a class is free).
+        let class = class.max(self.base);
         let ahead = class - self.base;
         if (ahead as usize) < RING {
             let idx = (self.head + ahead as usize) % RING;
@@ -248,6 +261,24 @@ mod tests {
         assert_eq!(q.pop(), Some(P(10, 0))); // base advanced to 10
         q.push(P(3, 1)); // below base: clamped, not lost
         assert_eq!(q.pop(), Some(P(3, 1)));
+    }
+
+    #[test]
+    fn empty_queue_rebases_instead_of_clamping() {
+        // A drained queue whose base advanced far (end of one query) must
+        // restore real prioritization for fresh low-priority pushes (start
+        // of the next query), not clamp them all into one class.
+        let mut q = BucketQueue::new(0, false);
+        q.push(P(2000, 0));
+        assert_eq!(q.pop(), Some(P(2000, 0))); // base is now ~2000, queue empty
+        q.push(P(100, 1));
+        q.push(P(300, 2));
+        q.push(P(120, 3));
+        // With clamping these would all share one class and pop FIFO
+        // (100, 300, 120); with the rebase they pop by class.
+        assert_eq!(q.pop(), Some(P(100, 1)));
+        assert_eq!(q.pop(), Some(P(120, 3)));
+        assert_eq!(q.pop(), Some(P(300, 2)));
     }
 
     #[test]

@@ -56,16 +56,31 @@
 //! assert_eq!(handler.0.load(Ordering::Relaxed), 100);
 //! assert_eq!(stats.visitors_executed, 100);
 //! ```
+//!
+//! # One-shot vs. persistent
+//!
+//! [`VisitorQueue`] runs a single traversal to completion on a worker pool
+//! it spawns and joins internally. For a stream of traversals over one
+//! graph — the serving workload — use the persistent [`engine`]: workers
+//! are spawned once, park when idle, and multiplex concurrent queries with
+//! per-query termination and isolation (see [`engine::scoped`]).
+
+#![warn(missing_docs)]
 
 pub mod bucket;
 pub mod config;
 pub mod dary;
+pub mod engine;
 pub mod mailbox;
 pub mod queue;
 pub mod state;
 pub mod visitor;
 
 pub use config::{MailboxImpl, VqConfig};
-pub use queue::{AbortedRun, PushCtx, RunStats, VisitorQueue};
-pub use state::AtomicStateArray;
+pub use engine::{
+    scoped, DynHandler, Engine, EngineConfig, EngineStats, PushCtx, QueryError, QueryStats,
+    QueryTicket, SubmitError,
+};
+pub use queue::{AbortedRun, RunStats, VisitorQueue};
+pub use state::{AtomicStateArray, OwnedStateLease, StateLease, StatePool};
 pub use visitor::{AbortReason, FallibleVisitHandler, VisitHandler, Visitor};

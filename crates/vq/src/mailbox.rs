@@ -1,8 +1,8 @@
 //! Per-worker mailboxes: how remote workers deliver visitors to a queue
 //! owner, and how an idle owner parks until mail arrives.
 //!
-//! Two implementations behind one [`Mailbox`] dispatch, selected by
-//! [`MailboxImpl`](crate::config::MailboxImpl):
+//! Two implementations behind one `Mailbox` dispatch, selected by
+//! [`MailboxImpl`]:
 //!
 //! * **`Lock`** — the original `Mutex<Vec<V>>` inbox with condvar parking.
 //!   Kept as the ablation baseline: every delivery takes the destination's

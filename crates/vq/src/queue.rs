@@ -2,10 +2,10 @@
 //!
 //! Layout per worker:
 //!
-//! * a **private priority queue** ([`BucketQueue`]: O(1) bucketed
+//! * a **private priority queue** (`BucketQueue`: O(1) bucketed
 //!   priorities with optional within-bucket semi-sort) that only its owner
 //!   touches — no lock;
-//! * a shared **mailbox** ([`Mailbox`]) other workers deliver into — by
+//! * a shared **mailbox** (`Mailbox`) other workers deliver into — by
 //!   default a lock-free segmented MPSC chain with event-count parking
 //!   (no mutex on the delivery path), with the original `Mutex<Vec<V>>`
 //!   inbox selectable via [`VqConfig::mailbox`] for A/B ablation;
@@ -26,15 +26,17 @@
 //! under-count): pushes to a worker's own queue defer their increment to
 //! the end of the visit, and completions accumulate into a per-worker debt
 //! settled at the latest when the worker runs out of local work.
+//!
+//! Since the persistent [`Engine`](crate::engine::Engine) landed, the
+//! worker loop itself lives in [`crate::engine`]; every [`VisitorQueue`]
+//! entry point runs as a single query on a throwaway one-query engine
+//! (`crate::engine::one_shot`), so the one-shot and multi-query paths
+//! share one implementation and cannot drift.
 
-use crate::bucket::BucketQueue;
 use crate::config::VqConfig;
-use crate::mailbox::{self, Mailbox};
 use crate::visitor::{AbortReason, FallibleVisitHandler, VisitHandler, Visitor};
-use asyncgt_obs::{Counter, HistKind, NoopRecorder, Recorder};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use asyncgt_obs::{NoopRecorder, Recorder};
+use std::time::Duration;
 
 /// Aggregate statistics from one traversal run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -60,24 +62,6 @@ pub struct RunStats {
     pub num_threads: usize,
 }
 
-/// State shared by every worker in one run.
-struct Shared<V> {
-    /// One mailbox per worker; remote workers deliver here, the owner
-    /// drains (see [`Mailbox`] for the two delivery implementations).
-    inboxes: Vec<Mailbox<V>>,
-    /// Count of visitors pushed but whose `visit` has not yet returned.
-    pending: AtomicU64,
-    /// Set when a handler panicked; workers drain out and exit.
-    poisoned: AtomicBool,
-    /// Set when a fallible handler returned `Err`; workers drain out and
-    /// exit, and the run returns the captured reason. Reuses the poison
-    /// wakeup machinery (`wake_all`) so parked workers leave promptly.
-    aborted: AtomicBool,
-    /// First abort reason (later failures are dropped — by the time they
-    /// occur the run is already coming down).
-    abort_reason: Mutex<Option<AbortReason>>,
-}
-
 /// Queue selection: Fibonacci multiplicative hash of the target vertex,
 /// mapped to `[0, num_queues)` with a widening multiply. The multiply uses
 /// all 64 hash bits and is exactly uniform over them for any queue count —
@@ -89,177 +73,6 @@ struct Shared<V> {
 pub(crate) fn route_of(vertex: u64, num_queues: usize) -> usize {
     let h = vertex.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     ((h as u128 * num_queues as u128) >> 64) as usize
-}
-
-impl<V: Visitor> Shared<V> {
-    #[inline]
-    fn route(&self, vertex: u64) -> usize {
-        route_of(vertex, self.inboxes.len())
-    }
-
-    /// Whether the run is coming down early (panic or abort) and workers
-    /// should drop remaining work and exit.
-    #[inline]
-    fn halted(&self) -> bool {
-        self.poisoned.load(Ordering::Acquire) || self.aborted.load(Ordering::Acquire)
-    }
-
-    /// Record an abort: capture the first reason, flag the run, and wake
-    /// every parked worker so the teardown is prompt.
-    fn abort(&self, reason: AbortReason) {
-        let mut slot = self.abort_reason.lock();
-        if slot.is_none() {
-            *slot = Some(reason);
-        }
-        drop(slot);
-        self.aborted.store(true, Ordering::Release);
-        self.wake_all();
-    }
-
-    /// Wake every parked worker (termination or poison).
-    fn wake_all(&self) {
-        for inbox in &self.inboxes {
-            inbox.wake();
-        }
-    }
-
-    /// Retire `n` completed visitors; detects global termination.
-    ///
-    /// Completions may be batched (the counter then *over*-counts, which
-    /// only delays detection — it can never terminate early).
-    #[inline]
-    fn complete(&self, n: u64) {
-        if n > 0 && self.pending.fetch_sub(n, Ordering::AcqRel) == n {
-            self.wake_all();
-        }
-    }
-}
-
-/// Per-worker buffers of visitors addressed to other workers' queues.
-///
-/// Remote pushes are staged here and delivered in batches, amortizing the
-/// publish CAS (or inbox lock) and (more importantly on oversubscribed
-/// hosts) the wake-a-parked-thread syscall over many visitors instead of
-/// paying both per push.
-struct Outbox<V> {
-    buffers: Vec<Vec<V>>,
-    /// Total staged visitors across all buffers.
-    staged: u64,
-    /// Destinations whose buffer crossed [`FLUSH_PER_DEST`] and should be
-    /// delivered at the next between-visits point. Each destination
-    /// appears at most once (it is recorded exactly when its buffer
-    /// *reaches* the threshold).
-    ready: Vec<usize>,
-}
-
-/// Per-destination delivery threshold. Flushing a buffer only once this
-/// many visitors have accumulated for that destination keeps each
-/// delivery (one publish CAS or one lock acquisition) amortized over a
-/// real batch even when pushes fan out across many queues — a global
-/// staged-total trigger degenerates to couple-of-visitor deliveries at
-/// high thread counts, which is exactly the per-delivery-overhead regime
-/// batching exists to avoid.
-const FLUSH_PER_DEST: usize = 128;
-
-impl<V: Visitor> Outbox<V> {
-    fn new(num_queues: usize) -> Self {
-        Outbox {
-            buffers: (0..num_queues).map(|_| Vec::new()).collect(),
-            staged: 0,
-            ready: Vec::new(),
-        }
-    }
-
-    /// Deliver every staged visitor to its mailbox and wake owners whose
-    /// mailbox transitioned from empty. `worker_id` identifies this
-    /// outbox's worker to the destinations' segment-recycling slots.
-    fn flush<R: Recorder>(&mut self, shared: &Shared<V>, worker_id: usize, recorder: &R) {
-        self.ready.clear();
-        if self.staged == 0 {
-            return;
-        }
-        for (q, buf) in self.buffers.iter_mut().enumerate() {
-            shared.inboxes[q].deliver(buf, worker_id, recorder);
-        }
-        self.staged = 0;
-    }
-
-    /// Deliver only the destinations whose buffers crossed
-    /// [`FLUSH_PER_DEST`] (they may have grown further since).
-    fn flush_ready<R: Recorder>(&mut self, shared: &Shared<V>, worker_id: usize, recorder: &R) {
-        while let Some(q) = self.ready.pop() {
-            let buf = &mut self.buffers[q];
-            self.staged -= buf.len() as u64;
-            shared.inboxes[q].deliver(buf, worker_id, recorder);
-        }
-    }
-}
-
-/// Handle through which a [`VisitHandler`](crate::VisitHandler) emits new
-/// visitors. Pushes addressed to the executing worker's own queue go
-/// straight into its private heap with no synchronization; remote pushes
-/// are staged in the worker's [`Outbox`].
-pub struct PushCtx<'a, V: Visitor> {
-    shared: &'a Shared<V>,
-    worker_id: usize,
-    local_heap: &'a mut BucketQueue<V>,
-    outbox: &'a mut Outbox<V>,
-    pushed: u64,
-    local_pushes: u64,
-}
-
-impl<'a, V: Visitor> PushCtx<'a, V> {
-    /// Enqueue a visitor. Routing is by hash of `v.target()`; the visitor
-    /// will execute on the worker owning that hash bucket, ordered by the
-    /// visitor's `Ord` priority among that queue's contents.
-    #[inline]
-    pub fn push(&mut self, v: V) {
-        self.pushed += 1;
-        let q = self.shared.route(v.target());
-        if q == self.worker_id {
-            // Local fast path: no lock, and the pending increment is
-            // deferred to the end of the visit (the executing visitor's own
-            // pending unit keeps the counter positive until then, and only
-            // this worker can drain its private heap).
-            self.local_pushes += 1;
-            self.local_heap.push(v);
-        } else {
-            // Remote pushes must be globally visible *before* the mail can
-            // be delivered, or the recipient could complete it and drive
-            // the counter to zero while our accounting is still in flight.
-            self.shared.pending.fetch_add(1, Ordering::Relaxed);
-            let buf = &mut self.outbox.buffers[q];
-            buf.push(v);
-            self.outbox.staged += 1;
-            if buf.len() == FLUSH_PER_DEST {
-                self.outbox.ready.push(q);
-            }
-        }
-    }
-
-    /// Id of the worker executing the current visitor.
-    pub fn worker_id(&self) -> usize {
-        self.worker_id
-    }
-
-    /// Number of workers (== number of queues) in this run.
-    pub fn num_workers(&self) -> usize {
-        self.shared.inboxes.len()
-    }
-}
-
-/// RAII guard: if a handler panics mid-visit, poison the run and wake all
-/// workers so they exit instead of waiting for a termination signal that
-/// can no longer arrive.
-struct PoisonOnPanic<'a, V: Visitor>(&'a Shared<V>);
-
-impl<'a, V: Visitor> Drop for PoisonOnPanic<'a, V> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            self.0.poisoned.store(true, Ordering::Release);
-            self.0.wake_all();
-        }
-    }
 }
 
 /// An aborted traversal: the first [`AbortReason`] a fallible handler
@@ -362,285 +175,14 @@ impl VisitorQueue {
         I: IntoIterator<Item = V>,
         R: Recorder,
     {
-        let num_threads = cfg.num_threads.max(1);
-        let shared = Shared {
-            inboxes: (0..num_threads)
-                .map(|_| Mailbox::new(cfg.mailbox, num_threads))
-                .collect(),
-            pending: AtomicU64::new(0),
-            poisoned: AtomicBool::new(false),
-            aborted: AtomicBool::new(false),
-            abort_reason: Mutex::new(None),
-        };
-
-        // Seed: group initial visitors by destination queue first, then
-        // deliver each group in one mailbox operation — one lock/CAS per
-        // destination instead of one per seed. The workers have not
-        // started, so nothing contends and no owner needs waking.
-        let mut groups: Vec<Vec<V>> = (0..num_threads).map(|_| Vec::new()).collect();
-        let mut seeded: u64 = 0;
-        for v in init {
-            groups[shared.route(v.target())].push(v);
-            seeded += 1;
-        }
-        for (q, mut group) in groups.into_iter().enumerate() {
-            shared.inboxes[q].deliver(&mut group, mailbox::NO_PRODUCER, recorder);
-        }
-        shared.pending.store(seeded, Ordering::Release);
-        if R::ENABLED {
-            // Seed pushes come from the driver thread (overflow shard);
-            // worker-attributed pushes are recorded in the worker loop.
-            recorder.counter(Counter::VisitorsPushed, seeded);
-        }
-
-        let start = Instant::now();
-        let mut stats = RunStats {
-            num_threads,
-            visitors_pushed: seeded,
-            ..Default::default()
-        };
-
-        if seeded > 0 {
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(num_threads);
-                for id in 0..num_threads {
-                    let shared = &shared;
-                    handles
-                        .push(scope.spawn(move || worker_loop(shared, handler, id, cfg, recorder)));
-                }
-                for h in handles {
-                    // A panicked worker has already poisoned the run, so the
-                    // remaining workers drain and exit; join then re-raises.
-                    let w = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-                    stats.visitors_executed += w.executed;
-                    stats.visitors_pushed += w.pushed;
-                    stats.local_pushes += w.local_pushes;
-                    stats.parks += w.parks;
-                    stats.inbox_batches += w.inbox_batches;
-                }
-            });
-        }
-
-        stats.elapsed = start.elapsed();
-        if shared.aborted.load(Ordering::Acquire) {
-            let reason = shared
-                .abort_reason
-                .lock()
-                .take()
-                .expect("aborted flag set without a reason");
-            return Err(AbortedRun { reason, stats });
-        }
-        Ok(stats)
+        crate::engine::one_shot(cfg, handler, init, recorder)
     }
-}
-
-/// Per-worker counters, merged into [`RunStats`] at join.
-#[derive(Default)]
-struct WorkerStats {
-    executed: u64,
-    pushed: u64,
-    local_pushes: u64,
-    parks: u64,
-    inbox_batches: u64,
-}
-
-/// First idle-spin tier: iterations spent in [`std::hint::spin_loop`]
-/// bursts (cheap, keeps the core; right when mail is nanoseconds away)
-/// before the loop falls back to [`std::thread::yield_now`] (frees the
-/// core; right under oversubscription). Each burst doubles in length.
-const SPIN_HINT_ITERS: u32 = 6;
-
-fn worker_loop<V: Visitor, H: FallibleVisitHandler<V>, R: Recorder>(
-    shared: &Shared<V>,
-    handler: &H,
-    id: usize,
-    cfg: &VqConfig,
-    recorder: &R,
-) -> WorkerStats {
-    let inbox = &shared.inboxes[id];
-    inbox.register_owner();
-    let mut heap: BucketQueue<V> = BucketQueue::new(cfg.priority_shift, cfg.sort_buckets);
-    let mut outbox: Outbox<V> = Outbox::new(shared.inboxes.len());
-    let mut stats = WorkerStats::default();
-    let poison_guard = PoisonOnPanic(shared);
-    if R::ENABLED {
-        recorder.register_worker(id);
-        recorder.timeline("worker_start");
-    }
-
-    // Completions not yet subtracted from the global counter. Holding debt
-    // makes `pending` an over-count — safe (termination is only delayed) —
-    // and turns the per-visitor decrement into one amortized subtraction.
-    let mut debt: u64 = 0;
-    const DEBT_FLUSH: u64 = 256;
-    // Backstop: a full flush once this many visitors are staged in total,
-    // so a push pattern that never fills any single destination buffer
-    // (and always before this worker idles) still bounds the delivery
-    // latency the batching introduces. Set well above FLUSH_PER_DEST so the
-    // per-destination trigger does the delivering on fan-out workloads.
-    let outbox_max_staged: u64 = (FLUSH_PER_DEST * shared.inboxes.len()) as u64;
-
-    // Visitors drained for the current service round, in execution order;
-    // reused across rounds so the hot path does not allocate.
-    let batch_drain = cfg.batch_drain.max(1);
-    let mut batch: Vec<V> = Vec::with_capacity(batch_drain);
-
-    'outer: loop {
-        // Merge any mail into the private heap so priorities interleave.
-        if inbox.has_mail() {
-            let mail_len = inbox.drain(&mut heap, recorder);
-            if mail_len > 0 {
-                stats.inbox_batches += 1;
-            }
-        }
-
-        // Drain up to `batch_drain` visitors for this service round. With
-        // the default of 1 this is exactly the classic pop-visit-pop loop;
-        // larger drains expose the semi-sorted batch to the handler first
-        // (I/O scheduling) without changing execution order.
-        while batch.len() < batch_drain {
-            match heap.pop() {
-                Some(v) => batch.push(v),
-                None => break,
-            }
-        }
-        if !batch.is_empty() {
-            if batch.len() > 1 {
-                // Advisory hint before any visitor runs: semi-external
-                // handlers coalesce the batch's adjacency reads here.
-                handler.prepare_batch(&batch);
-            }
-            if R::ENABLED {
-                recorder.observe(HistKind::BatchDrainSize, batch.len() as u64);
-            }
-            for v in batch.drain(..) {
-                if shared.halted() {
-                    // Another worker panicked or aborted: drop remaining
-                    // work and leave.
-                    break 'outer;
-                }
-                let mut ctx = PushCtx {
-                    shared,
-                    worker_id: id,
-                    local_heap: &mut heap,
-                    outbox: &mut outbox,
-                    pushed: 0,
-                    local_pushes: 0,
-                };
-                let visit_start = if R::ENABLED {
-                    Some(Instant::now())
-                } else {
-                    None
-                };
-                let outcome = handler.try_visit(v, &mut ctx);
-                if let Some(t0) = visit_start {
-                    recorder.observe(HistKind::ServiceTimeNs, t0.elapsed().as_nanos() as u64);
-                }
-                if ctx.local_pushes > 0 {
-                    // Publish deferred-increment local pushes (see PushCtx).
-                    // Done even on an aborting visit so the counter never
-                    // under-counts while other workers are still checking it.
-                    shared
-                        .pending
-                        .fetch_add(ctx.local_pushes, Ordering::Relaxed);
-                }
-                if R::ENABLED {
-                    recorder.counter(Counter::VisitorsExecuted, 1);
-                    recorder.counter(Counter::VisitorsPushed, ctx.pushed);
-                    recorder.counter(Counter::LocalPushes, ctx.local_pushes);
-                    recorder.counter(Counter::RemotePushes, ctx.pushed - ctx.local_pushes);
-                }
-                stats.pushed += ctx.pushed;
-                stats.local_pushes += ctx.local_pushes;
-                stats.executed += 1;
-                if let Err(reason) = outcome {
-                    // The failing visit aborts the run: flag it, wake
-                    // everyone, and leave. Remaining queued work is
-                    // deliberately dropped.
-                    shared.abort(reason);
-                    break 'outer;
-                }
-                debt += 1;
-                if debt >= DEBT_FLUSH {
-                    shared.complete(debt);
-                    debt = 0;
-                }
-                if !outbox.ready.is_empty() {
-                    // One or more destinations crossed FLUSH_PER_DEST
-                    // during this visit: deliver those full batches only.
-                    if R::ENABLED {
-                        recorder.counter(Counter::OutboxFlushes, 1);
-                    }
-                    outbox.flush_ready(shared, id, recorder);
-                } else if outbox.staged >= outbox_max_staged {
-                    if R::ENABLED {
-                        recorder.counter(Counter::OutboxFlushes, 1);
-                    }
-                    outbox.flush(shared, id, recorder);
-                }
-            }
-            continue;
-        }
-
-        // Out of local work: deliver staged mail (other workers may be
-        // waiting on it), then settle the completion debt so the global
-        // counter is exact before any termination check or park.
-        if R::ENABLED && outbox.staged > 0 {
-            recorder.counter(Counter::OutboxFlushes, 1);
-        }
-        outbox.flush(shared, id, recorder);
-        shared.complete(debt);
-        debt = 0;
-
-        // Idle: adaptive spin — short doubling spin_loop bursts first
-        // (mail often lands within nanoseconds of a flush), then yields
-        // that surrender the core (the right behaviour when
-        // oversubscribed) — before parking on the mailbox.
-        let mut spun: u32 = 0;
-        while spun < cfg.spin_iters {
-            if inbox.has_mail() {
-                continue 'outer;
-            }
-            if shared.pending.load(Ordering::Acquire) == 0 || shared.halted() {
-                break 'outer;
-            }
-            if spun < SPIN_HINT_ITERS {
-                for _ in 0..(1u32 << spun) {
-                    std::hint::spin_loop();
-                }
-            } else {
-                std::thread::yield_now();
-            }
-            spun += 1;
-        }
-
-        // Park until mail arrives or the run ends; any mail found is
-        // drained into the heap before idle_wait returns.
-        let idle = inbox.idle_wait(
-            &mut heap,
-            || shared.pending.load(Ordering::Acquire) == 0 || shared.halted(),
-            cfg.park_timeout,
-            recorder,
-        );
-        stats.parks += idle.parks;
-        if idle.exit {
-            break 'outer;
-        }
-        if idle.drained > 0 {
-            stats.inbox_batches += 1;
-        }
-    }
-
-    if R::ENABLED {
-        recorder.timeline("worker_exit");
-    }
-    drop(poison_guard);
-    stats
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::PushCtx;
     use std::sync::atomic::{AtomicU64, Ordering as AO};
 
     /// Visitor that walks a chain 0..n, one hop per visit.

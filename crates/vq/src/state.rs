@@ -8,7 +8,8 @@
 //! synchronization (the workers' release-decrements of the pending counter
 //! and the thread joins), not by these accesses.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// A fixed-size array of `u64` vertex state, safely shared across workers.
 pub struct AtomicStateArray {
@@ -60,12 +61,170 @@ impl AtomicStateArray {
         self.data[i as usize].fetch_min(value, Ordering::Relaxed) > value
     }
 
+    /// Reset every entry to `value` (relaxed stores). Used by
+    /// [`StatePool`] to recycle arrays between queries without
+    /// reallocating.
+    pub fn fill(&self, value: u64) {
+        for a in self.data.iter() {
+            a.store(value, Ordering::Relaxed);
+        }
+    }
+
     /// Copy the contents into a plain vector (after a run completes).
     pub fn to_vec(&self) -> Vec<u64> {
         self.data
             .iter()
             .map(|a| a.load(Ordering::Relaxed))
             .collect()
+    }
+}
+
+/// A pool of same-length [`AtomicStateArray`]s leased to concurrent
+/// queries.
+///
+/// Each query executing on a persistent [`Engine`](crate::engine::Engine)
+/// needs its own label array (concurrent BFS/SSSP/CC over one shared graph
+/// must never share `dist`/`ccid` state), but allocating and zeroing a
+/// `|V|`-sized array per query is exactly the per-request cost the engine
+/// exists to amortize. The pool recycles arrays: [`lease`](Self::lease)
+/// pops a free one (re-`fill`ed to the requested init value) or allocates
+/// on first use, and dropping the [`StateLease`] returns it.
+pub struct StatePool {
+    len: usize,
+    allocated: AtomicUsize,
+    free: parking_lot::Mutex<Vec<AtomicStateArray>>,
+}
+
+impl StatePool {
+    /// Pool of arrays with `len` entries each (one per vertex).
+    pub fn new(len: usize) -> Self {
+        StatePool {
+            len,
+            allocated: AtomicUsize::new(0),
+            free: parking_lot::Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Entry count of every array this pool hands out.
+    pub fn array_len(&self) -> usize {
+        self.len
+    }
+
+    /// Arrays currently sitting idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.lock().len()
+    }
+
+    /// Total arrays ever allocated by this pool (leased-out plus idle).
+    /// A steady-state engine reusing leases keeps this at its concurrency
+    /// high-water mark instead of growing per query.
+    pub fn allocated(&self) -> usize {
+        self.allocated.load(Ordering::Relaxed)
+    }
+
+    fn take(&self, init: u64) -> AtomicStateArray {
+        match self.free.lock().pop() {
+            Some(arr) => {
+                arr.fill(init);
+                arr
+            }
+            None => {
+                self.allocated.fetch_add(1, Ordering::Relaxed);
+                AtomicStateArray::new(self.len, init)
+            }
+        }
+    }
+
+    /// Lease an array with every entry set to `init`. Reuses a returned
+    /// array when one is free, allocating otherwise — so a steady-state
+    /// engine running ≤ N concurrent queries settles at N allocations
+    /// total.
+    pub fn lease(&self, init: u64) -> StateLease<'_> {
+        StateLease {
+            pool: self,
+            arr: Some(self.take(init)),
+        }
+    }
+
+    /// [`lease`](Self::lease) without a pool borrow: the lease keeps the
+    /// pool alive through its own `Arc`, so it can be stored in handlers
+    /// whose lifetime is not tied to the pool's stack frame (e.g. per-query
+    /// jobs submitted to a persistent engine).
+    pub fn lease_arc(self: &Arc<Self>, init: u64) -> OwnedStateLease {
+        OwnedStateLease {
+            arr: Some(self.take(init)),
+            pool: Arc::clone(self),
+        }
+    }
+}
+
+impl std::fmt::Debug for StatePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatePool")
+            .field("array_len", &self.len)
+            .field("idle", &self.idle())
+            .finish()
+    }
+}
+
+/// An [`AtomicStateArray`] borrowed from a [`StatePool`]; returns itself
+/// to the pool on drop. Dereferences to the array.
+pub struct StateLease<'p> {
+    pool: &'p StatePool,
+    arr: Option<AtomicStateArray>,
+}
+
+impl<'p> std::ops::Deref for StateLease<'p> {
+    type Target = AtomicStateArray;
+    fn deref(&self) -> &AtomicStateArray {
+        self.arr.as_ref().expect("leased array present until drop")
+    }
+}
+
+impl<'p> Drop for StateLease<'p> {
+    fn drop(&mut self) {
+        if let Some(arr) = self.arr.take() {
+            self.pool.free.lock().push(arr);
+        }
+    }
+}
+
+impl<'p> std::fmt::Debug for StateLease<'p> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StateLease")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// An [`AtomicStateArray`] borrowed from an `Arc<StatePool>` (see
+/// [`StatePool::lease_arc`]); returns itself to the pool on drop.
+/// Dereferences to the array.
+pub struct OwnedStateLease {
+    pool: Arc<StatePool>,
+    arr: Option<AtomicStateArray>,
+}
+
+impl std::ops::Deref for OwnedStateLease {
+    type Target = AtomicStateArray;
+    fn deref(&self) -> &AtomicStateArray {
+        self.arr.as_ref().expect("leased array present until drop")
+    }
+}
+
+impl Drop for OwnedStateLease {
+    fn drop(&mut self) {
+        if let Some(arr) = self.arr.take() {
+            self.pool.free.lock().push(arr);
+        }
+    }
+}
+
+impl std::fmt::Debug for OwnedStateLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnedStateLease")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -100,6 +259,62 @@ mod tests {
         assert!(!a.fetch_min(0, 9));
         assert_eq!(a.get(0), 5);
         assert!(!a.fetch_min(0, 5));
+    }
+
+    #[test]
+    fn fill_resets_every_entry() {
+        let a = AtomicStateArray::new(3, 0);
+        a.set(1, 42);
+        a.fill(u64::MAX);
+        assert_eq!(a.to_vec(), vec![u64::MAX; 3]);
+    }
+
+    #[test]
+    fn pool_recycles_arrays_and_reinitializes() {
+        let pool = StatePool::new(8);
+        assert_eq!(pool.idle(), 0);
+        {
+            let a = pool.lease(u64::MAX);
+            assert_eq!(a.len(), 8);
+            assert_eq!(a.get(3), u64::MAX);
+            a.set(3, 7);
+        }
+        // Returned on drop, and the dirty entry is re-initialized on the
+        // next lease.
+        assert_eq!(pool.idle(), 1);
+        let b = pool.lease(0);
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(b.get(3), 0);
+    }
+
+    #[test]
+    fn pool_allocates_when_all_arrays_are_out() {
+        let pool = StatePool::new(4);
+        let a = pool.lease(1);
+        let b = pool.lease(2);
+        assert_eq!(a.get(0), 1);
+        assert_eq!(b.get(0), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn arc_lease_outlives_the_borrowing_frame_and_counts_allocations() {
+        let pool = Arc::new(StatePool::new(4));
+        let lease = {
+            // The lease escapes the scope that held the `&Arc` borrow.
+            let p = &pool;
+            p.lease_arc(7)
+        };
+        assert_eq!(lease.get(3), 7);
+        assert_eq!(pool.allocated(), 1);
+        drop(lease);
+        assert_eq!(pool.idle(), 1);
+        // Recycled, not reallocated.
+        let again = pool.lease_arc(0);
+        assert_eq!(pool.allocated(), 1);
+        assert_eq!(again.get(3), 0);
     }
 
     #[test]

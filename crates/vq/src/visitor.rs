@@ -1,6 +1,6 @@
 //! The visitor abstraction: prioritized work items addressed to vertices.
 
-use crate::queue::PushCtx;
+use crate::engine::PushCtx;
 
 /// A prioritized, vertex-addressed unit of traversal work.
 ///

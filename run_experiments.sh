@@ -11,4 +11,6 @@ echo "=== table3 ==="  && ASYNCGT_SCALES=${ASYNCGT_SCALES:-14,16,18} $R/table3  
 echo "=== table4 ==="  && $R/table4  | tee results/table4.txt
 echo "=== table5 ==="  && $R/table5  | tee results/table5.txt
 echo "=== ablation ===" && $R/ablation | tee results/ablation.txt
+echo "=== bench_vq ===" && $R/bench_vq results/BENCH_vq.json
+echo "=== bench_engine ===" && $R/bench_engine results/BENCH_engine.json
 echo ALL DONE

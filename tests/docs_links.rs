@@ -1,0 +1,100 @@
+//! Markdown cross-reference checker for the repo's documentation.
+//!
+//! Every relative link in the top-level markdown files must resolve to a
+//! file or directory in the tree, so the README ↔ ARCHITECTURE ↔ DESIGN ↔
+//! EXPERIMENTS web can't silently rot. External (`http`/`https`) links
+//! are out of scope: CI must not depend on the network.
+
+use std::path::{Path, PathBuf};
+
+/// Top-level docs under check, relative to the workspace root.
+const DOCS: &[&str] = &[
+    "README.md",
+    "ARCHITECTURE.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+];
+
+fn workspace_root() -> PathBuf {
+    // tests/ is a workspace member one level below the root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .to_path_buf()
+}
+
+/// Extract `](target)` link targets, skipping fenced code blocks.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(i) = rest.find("](") {
+            rest = &rest[i + 2..];
+            if let Some(j) = rest.find(')') {
+                out.push(rest[..j].to_string());
+                rest = &rest[j + 1..];
+            } else {
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let root = workspace_root();
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{doc} must exist at the workspace root: {e}"));
+        for target in link_targets(&text) {
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+            {
+                continue;
+            }
+            // Strip an intra-file anchor from a relative target.
+            let file_part = target.split('#').next().unwrap();
+            if file_part.is_empty() {
+                continue;
+            }
+            if !root.join(file_part).exists() {
+                broken.push(format!("{doc}: ]({target})"));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative markdown links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn readme_links_the_architecture_tour() {
+    let root = workspace_root();
+    let readme = std::fs::read_to_string(root.join("README.md")).unwrap();
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    assert!(
+        readme.contains("](ARCHITECTURE.md)"),
+        "README must link ARCHITECTURE.md"
+    );
+    assert!(
+        design.contains("](ARCHITECTURE.md)"),
+        "DESIGN.md must link ARCHITECTURE.md"
+    );
+}

@@ -39,7 +39,7 @@ pub trait RngCore {
 
 /// User-facing sampling methods, blanket-implemented for every [`RngCore`].
 pub trait Rng: RngCore {
-    /// Sample a value of a [`Standard`]-distributed type (`f64` in `[0,1)`,
+    /// Sample a value of a `Standard`-distributed type (`f64` in `[0,1)`,
     /// full-range integers, fair `bool`).
     fn gen<T: SampleStandard>(&mut self) -> T {
         T::sample_standard(self)
